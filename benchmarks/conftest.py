@@ -1,0 +1,41 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one paper figure's series, times the run via
+pytest-benchmark, prints the rows (visible with ``pytest -s`` or in the
+saved reports), and writes the same text to ``benchmarks/results/<name>.txt``
+so EXPERIMENTS.md claims can be re-checked without rerunning.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable ``report(name, text)``: print and persist a figure report."""
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+    return _report
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure generator exactly once under pytest-benchmark timing.
+
+    Figure pipelines are deterministic simulations taking 0.1-10 s; classic
+    multi-round statistical timing would quintuple the suite's cost for no
+    extra information.
+    """
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return _once

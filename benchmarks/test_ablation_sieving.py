@@ -1,0 +1,95 @@
+"""Ablation: interference breaks data sieving even harder than caching.
+
+The paper's §II-D shows interference destroying the benefit of a cache
+(Fig 3); §V-A lists data sieving and two-phase I/O among the other
+single-application optimizations at risk.  This bench quantifies that for
+sieving: a strided writer using data sieving (read-modify-write of its
+covering extent) versus the same workload under collective buffering,
+alone and against a contiguous neighbour.
+
+Expected shape: sieving is already slower alone (it moves ~2 x nprocs x
+the payload), and under contention it is doubly toxic — it suffers more
+(more bytes exposed to the shared bottleneck) *and* inflicts more (it
+occupies the file system far longer).
+"""
+
+from repro.experiments import banner, format_table
+from repro.mpisim import ADIOLayer, Communicator, Contiguous, Strided
+from repro.platforms import Platform, grid5000_rennes
+
+#: A small strided job: 24 procs x 8 blocks x 256 KB = 48 MB payload.
+PATTERN = Strided(block_size=256_000, nblocks=8)
+NPROCS = 24
+NEIGHBOUR_PROCS = 384
+
+
+def _run(method, with_neighbour):
+    platform = Platform(grid5000_rennes())
+    client = platform.add_client("app", NPROCS)
+    comm = Communicator(platform.sim, NPROCS,
+                        alpha=platform.config.latency,
+                        per_proc_bandwidth=platform.config.mpi_bandwidth_per_core)
+    adio = ADIOLayer(platform.sim, platform.pfs, client, "app", comm,
+                     procs_per_node=24)
+
+    def app_body():
+        if method == "sieved":
+            return (yield from adio.write_independent_sieved(
+                "/f", PATTERN, guarded=False))
+        return (yield from adio.write_collective("/f", PATTERN, grain=None))
+
+    p = platform.sim.process(app_body())
+
+    if with_neighbour:
+        nclient = platform.add_client("neighbour", NEIGHBOUR_PROCS)
+        ncomm = Communicator(platform.sim, NEIGHBOUR_PROCS,
+                             alpha=platform.config.latency,
+                             per_proc_bandwidth=platform.config.mpi_bandwidth_per_core)
+        nadio = ADIOLayer(platform.sim, platform.pfs, nclient, "neighbour",
+                          ncomm, procs_per_node=24)
+
+        def neighbour_body():
+            # A big contiguous writer that keeps the file system busy for
+            # the whole experiment.
+            yield from nadio.write_independent("/big", 6_000_000_000,
+                                               guarded=False)
+
+        platform.sim.process(neighbour_body())
+    stats = platform.sim.run(until=p)
+    return stats.duration
+
+
+def _pipeline():
+    out = {}
+    for method in ("collective", "sieved"):
+        out[(method, "alone")] = _run(method, with_neighbour=False)
+        out[(method, "contended")] = _run(method, with_neighbour=True)
+    return out
+
+
+def test_ablation_sieving(once, report):
+    out = once(_pipeline)
+    rows = []
+    for method in ("collective", "sieved"):
+        alone = out[(method, "alone")]
+        cont = out[(method, "contended")]
+        rows.append([method, alone, cont, cont / alone])
+    text = "\n".join([
+        banner("Ablation: data sieving vs collective buffering "
+               "(24-proc strided writer vs 384-proc neighbour)"),
+        format_table(["method", "T alone (s)", "T contended (s)",
+                      "slowdown"], rows),
+    ])
+    report("ablation_sieving", text)
+
+    # Sieving moves ~2 x nprocs x payload: far slower alone already.
+    assert out[("sieved", "alone")] > 5 * out[("collective", "alone")]
+    # Under contention, absolute damage explodes: the sieved run occupies
+    # the shared file system vastly longer than the collective one.
+    assert out[("sieved", "contended")] > 5 * out[("collective", "contended")]
+    # Interference adds far more absolute delay to the sieved run (its
+    # relative slowdown is milder only because its reads ride the
+    # uncontended full-duplex direction and it outlives the neighbour).
+    added_cb = out[("collective", "contended")] - out[("collective", "alone")]
+    added_sv = out[("sieved", "contended")] - out[("sieved", "alone")]
+    assert added_sv > 3 * added_cb

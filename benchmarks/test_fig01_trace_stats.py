@@ -1,0 +1,71 @@
+"""Figure 1 + §II-B: workload statistics on the Intrepid-like trace.
+
+Paper claims reproduced here:
+
+* Fig 1a — "Half the jobs on this platform indeed run on less than 2,048
+  cores (i.e., 1.25% of the full machine)"; also true weighting by duration.
+* Fig 1b — the machine spends most of its time running ~5-30 jobs at once.
+* §II-B — with E[µ] = 5%, P(another application is doing I/O) ≈ 64%.
+"""
+
+import numpy as np
+
+from repro.experiments import banner, format_series, format_table
+from repro.traces import (
+    IntrepidModel, concurrency_distribution, generate_intrepid_like,
+    job_size_distribution, prob_concurrent_io,
+)
+
+#: Two synthetic months keep the benchmark fast; the statistics are stable
+#: from ~3 weeks of trace onward (arrival process is stationary).
+MODEL = IntrepidModel(duration_days=60.0)
+
+
+def _pipeline():
+    trace = generate_intrepid_like(MODEL, seed=2014)
+    by_count = job_size_distribution(trace)
+    by_time = job_size_distribution(trace, weight_by_duration=True)
+    conc = concurrency_distribution(trace)
+    return trace, by_count, by_time, conc
+
+
+def test_fig01_trace_statistics(once, report):
+    trace, by_count, by_time, conc = once(_pipeline)
+
+    lines = [banner("Fig 1a: distribution of job sizes (synthetic Intrepid)")]
+    rows = []
+    for size, frac, cdf in zip(by_count.bins, by_count.fraction, by_count.cdf):
+        rows.append([size, 100 * frac, 100 * cdf,
+                     100 * by_time.fraction[list(by_time.bins).index(size)]])
+    lines.append(format_table(
+        ["cores", "% of jobs", "CDF %", "% of job-time"], rows))
+    half_by_count = by_count.fraction_at_or_below(2048)
+    half_by_time = by_time.fraction_at_or_below(2048)
+    lines.append(f"jobs <= 2048 cores: {100 * half_by_count:.1f}% "
+                 f"(paper: ~50%);  by duration: {100 * half_by_time:.1f}%")
+
+    lines.append("")
+    lines.append(banner("Fig 1b: number of concurrent jobs by time unit"))
+    # Bucket as the paper does (x-axis 4..60 in steps of 4).
+    edges = np.arange(0, 64, 4)
+    bucket = np.zeros(len(edges))
+    for n, p in conc.pmf().items():
+        bucket[min(len(edges) - 1, n // 4)] += p
+    lines.append(format_series("concurrency", edges + 4, bucket,
+                               xlabel="jobs", ylabel="prop.time"))
+
+    lines.append("")
+    lines.append(banner("SecII-B: P(another application is doing I/O)"))
+    mus = [0.01, 0.02, 0.05, 0.10, 0.20]
+    probs = [prob_concurrent_io(conc, mu) for mu in mus]
+    lines.append(format_table(["E[mu]", "P(interf.)"],
+                              list(zip(mus, probs))))
+    p5 = prob_concurrent_io(conc, 0.05)
+    lines.append(f"P at E[mu]=5%: {100 * p5:.1f}%  (paper: 64%)")
+    report("fig01_trace_stats", "\n".join(lines))
+
+    # Shape assertions (the paper's headline numbers).
+    assert 0.45 < half_by_count < 0.60
+    assert 0.40 < half_by_time < 0.65
+    assert 0.50 < p5 < 0.75
+    assert 5 <= conc.mean() <= 35

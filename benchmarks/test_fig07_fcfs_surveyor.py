@@ -1,0 +1,76 @@
+"""Figure 7: FCFS serialization vs interference on Surveyor.
+
+Paper setup: BG/P Surveyor, 4-server PVFS2; two equal applications write
+32 MB per process contiguously.
+
+(a) 2 x 2048 cores — the applications saturate the file system: under
+    interference both are impacted; under FCFS serialization only the
+    second arriver pays, so FCFS beats interference for the first app and
+    roughly matches it for the second.
+(b) 2 x 1024 cores — neither saturates: "the interference is not as high
+    as expected", so FCFS's forced wait *hurts* the second app relative to
+    simply interfering.
+"""
+
+import numpy as np
+
+from repro.apps import IORConfig
+from repro.experiments import banner, format_table, run_delta_graph
+from repro.mpisim import Contiguous
+from repro.platforms import surveyor
+
+PLATFORM = surveyor()
+DTS = [-14.0, -10.0, -6.0, -2.0, 0.0, 2.0, 6.0, 10.0, 14.0]
+
+
+def _app(name, nprocs):
+    return IORConfig(name=name, nprocs=nprocs,
+                     pattern=Contiguous(block_size=32_000_000),
+                     procs_per_node=4, grain="round")
+
+
+def _pipeline():
+    out = {}
+    for n in (2048, 1024):
+        out[n] = {
+            "interfere": run_delta_graph(PLATFORM, _app("A", n), _app("B", n),
+                                         DTS, strategy=None,
+                                         with_expected=True),
+            "fcfs": run_delta_graph(PLATFORM, _app("A", n), _app("B", n),
+                                    DTS, strategy="fcfs"),
+        }
+    return out
+
+
+def test_fig07_fcfs_on_surveyor(once, report):
+    out = once(_pipeline)
+    lines = []
+    for n, graphs in out.items():
+        gi, gf = graphs["interfere"], graphs["fcfs"]
+        lines.append(banner(f"Fig 7: 2 x {n} cores, 32 MB/proc contiguous"))
+        lines.append(f"T_alone = {gi.t_alone_a:.2f}s")
+        rows = [[dt, ti_a, tf_a, ti_b, tf_b] for dt, ti_a, tf_a, ti_b, tf_b
+                in zip(gi.dts, gi.t_a, gf.t_a, gi.t_b, gf.t_b)]
+        lines.append(format_table(
+            ["dt", "A interf", "A FCFS", "B interf", "B FCFS"], rows))
+        lines.append("")
+    report("fig07_fcfs_surveyor", "\n".join(lines))
+
+    g2048_i = out[2048]["interfere"]
+    g2048_f = out[2048]["fcfs"]
+    mid = DTS.index(0.0)
+    # (a) 2048: saturated -> interference doubles both; FCFS protects the
+    # first arriver (A at dt>0 sits at ~T_alone under FCFS).
+    assert g2048_i.interference_a[mid] > 1.7
+    assert g2048_f.t_a[-1] < 1.15 * g2048_f.t_alone_a  # dt=14: A first, safe
+    # Paper's standalone anchor: ~13 s.
+    assert 10.0 < g2048_i.t_alone_a < 16.0
+
+    g1024_i = out[1024]["interfere"]
+    g1024_f = out[1024]["fcfs"]
+    # (b) 1024: sub-saturating -> interference is mild (well below 2x)...
+    assert g1024_i.interference_a[mid] < 1.75
+    # ...so FCFS makes the second app *worse* than interfering at dt=0.
+    assert g1024_f.t_b[mid] > g1024_i.t_b[mid] * 1.1
+    # Paper's standalone anchor for 1024 cores: ~8 s.
+    assert 6.0 < g1024_i.t_alone_a < 10.0

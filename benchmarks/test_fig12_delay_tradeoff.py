@@ -1,0 +1,85 @@
+"""Figure 12: when interference is weak, serializing is the wrong call.
+
+Paper setup: Surveyor, 2 x 1024 cores write 32 MB per process
+(contiguous).  At this scale neither application saturates the file
+system, so "the interference is not as high as expected.  As a
+consequence, serializing accesses is not a good decision.  A tradeoff can
+be found by slightly delaying one of the writes."
+
+The paper leaves the delaying decision as future work; our
+:class:`DynamicStrategy` grows two extensions for it:
+``consider_interference=True`` predicts the sharing outcome and picks GO
+when it beats both serialization options, and ``consider_delay=True``
+additionally evaluates holding the newcomer for a fraction of the
+incumbent's remaining time — the literal "slightly delaying one of the
+writes".
+"""
+
+import numpy as np
+
+from repro.apps import IORConfig
+from repro.core import DynamicStrategy
+from repro.experiments import banner, format_table, run_delta_graph
+from repro.mpisim import Contiguous
+from repro.platforms import surveyor
+
+PLATFORM = surveyor()
+DTS = [-14.0, -10.0, -6.0, -2.0, 0.0, 2.0, 6.0, 10.0, 14.0]
+
+
+def _app(name):
+    return IORConfig(name=name, nprocs=1024,
+                     pattern=Contiguous(block_size=32_000_000),
+                     procs_per_node=4, grain="round")
+
+
+def _pipeline():
+    interfere = run_delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
+                                strategy=None, with_expected=True)
+    fcfs = run_delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
+                           strategy="fcfs")
+    extended = run_delta_graph(
+        PLATFORM, _app("A"), _app("B"), DTS,
+        strategy=DynamicStrategy(consider_interference=True))
+    delaying = run_delta_graph(
+        PLATFORM, _app("A"), _app("B"), DTS,
+        strategy=DynamicStrategy(consider_interference=True,
+                                 consider_delay=True))
+    return interfere, fcfs, extended, delaying
+
+
+def test_fig12_delay_tradeoff(once, report):
+    interfere, fcfs, extended, delaying = once(_pipeline)
+    rows = [[dt, ti, te, tf, tx, td] for dt, ti, te, tf, tx, td in
+            zip(DTS, interfere.t_b, interfere.expected_b, fcfs.t_b,
+                extended.t_b, delaying.t_b)]
+    text = "\n".join([
+        banner("Fig 12: 2 x 1024 cores, 32 MB/proc — write time of App B (s)"),
+        f"T_alone = {interfere.t_alone_b:.2f}s",
+        format_table(["dt", "interfering", "expected", "FCFS",
+                      "dynamic+share", "dyn+delay"], rows),
+    ])
+    report("fig12_delay_tradeoff", text)
+
+    mid = DTS.index(0.0)
+    # Interference is "not as high as expected" — well below the naive 2x a
+    # saturated pair would see, because 1024-core apps are client-bound
+    # alone and only partially contend when sharing.
+    assert interfere.interference_b[mid] < 1.75
+    # ...so FCFS is a bad decision for the second app at dt=0.
+    assert fcfs.t_b[mid] > interfere.t_b[mid] * 1.15
+    # The share-aware dynamic extension tracks the machine-wide optimum:
+    # its total I/O time never does notably worse than *either* pure
+    # option at any dt (a pure policy is strictly worse somewhere).
+    total_ext = extended.t_a + extended.t_b
+    total_fcfs = fcfs.t_a + fcfs.t_b
+    total_int = interfere.t_a + interfere.t_b
+    best_pure = np.minimum(total_fcfs, total_int)
+    assert np.all(total_ext <= best_pure * 1.08)
+    worst_fcfs = (total_fcfs - best_pure).max()
+    worst_int = (total_int - best_pure).max()
+    assert min(worst_fcfs, worst_int) >= 0.0
+    assert max(worst_fcfs, worst_int) > 0.5  # pure policies do lose somewhere
+    # The delaying variant also tracks the machine-wide optimum.
+    total_del = delaying.t_a + delaying.t_b
+    assert np.all(total_del <= best_pure * 1.08)

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the simulation kernel itself.
+
+Not a paper figure — these keep the substrate honest: Δ-graph sweeps run
+hundreds of simulations, so the fluid allocator and the event loop are on
+every experiment's critical path.  pytest-benchmark's statistical timing is
+appropriate here (sub-millisecond deterministic kernels).
+"""
+
+import numpy as np
+
+from repro.simcore import FluidLink, FlowNetwork, Simulator
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Schedule-and-dispatch cost for 10k timeouts."""
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.timeout(float(i % 97) / 7.0)
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_bench_process_switching(benchmark):
+    """Generator-process ping-pong: 2k context switches."""
+    def run():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(1000):
+                yield sim.timeout(0.001)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        return sim.now
+
+    benchmark(run)
+
+
+def test_bench_fairshare_allocation(benchmark):
+    """Max-min reallocation with 32 concurrent capped flows on 8 links."""
+    def run():
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        links = [FluidLink(1e9, f"l{i}") for i in range(8)]
+        for i in range(32):
+            path = [links[i % 8], links[(i * 3 + 1) % 8]]
+            net.start_flow(1e6 * (1 + i % 5), path, weight=1 + i % 3,
+                           cap=5e8 if i % 2 else None)
+        sim.run()
+        return sim.now
+
+    benchmark(run)
+
+
+def test_bench_staggered_flow_churn(benchmark):
+    """Flows arriving/finishing over time: the Δ-graph hot path."""
+    def run():
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = FluidLink(1e9, "shared")
+
+        def producer(k):
+            for i in range(25):
+                flow = net.start_flow(1e7, [link], weight=1 + (k + i) % 4)
+                yield flow.done
+
+        for k in range(4):
+            sim.process(producer(k))
+        sim.run()
+        return sim.now
+
+    benchmark(run)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The paper's §II-E motivation: CM1-like vs NAMD-like workloads.
+
+"The CM1 atmospheric simulation on Blue Waters synchronously writes
+snapshot files every 3 minutes, for an amount of 23 MB/core.  The NAMD
+chemistry simulation, on the other hand, writes trajectory files of a few
+bytes per core every second through a designated set of output
+processors."  Their behaviours "cannot be captured by the storage system,
+which sees only incoming raw requests" — but CALCioM's exchanged
+knowledge can.
+
+This example runs both side by side on a Surveyor-like machine and shows
+what each coordination strategy does to the frequent tiny writer when the
+heavyweight snapshots land.
+
+Run:  python examples/climate_and_chemistry.py
+"""
+
+import numpy as np
+
+from repro.apps import IORApp, cm1_like, namd_like
+from repro.core import CalciomRuntime
+from repro.experiments import format_table
+from repro.platforms import Platform, surveyor
+
+
+def run(strategy):
+    platform = Platform(surveyor())
+    runtime = CalciomRuntime(platform, strategy=strategy) if strategy else None
+    # Compressed timeline: snapshots every 18 s instead of every 3 min.
+    cm1 = IORApp(platform, cm1_like(nprocs=2048, iterations=3,
+                                    time_scale=0.1))
+    namd = IORApp(platform, namd_like(nprocs=1024, iterations=40,
+                                      bytes_per_core=512, period=1.0))
+    if runtime is not None:
+        for app in (cm1, namd):
+            session = runtime.session(app.config.name, app.client,
+                                      app.config.nprocs, app.comm)
+            app.guard = session
+            app.adio.guard = session
+    cm1.start()
+    namd.start()
+    platform.sim.run()
+    return cm1, namd
+
+
+def main() -> None:
+    rows = []
+    for label, strategy in [("uncoordinated", None),
+                            ("fcfs", "fcfs"),
+                            ("dynamic", "dynamic")]:
+        cm1, namd = run(strategy)
+        namd_times = np.array(namd.write_times) * 1e3  # ms
+        rows.append([
+            label,
+            f"{sum(cm1.write_times):.2f}s",
+            f"{np.median(namd_times):.1f}ms",
+            f"{namd_times.max():.1f}ms",
+            f"{np.mean(namd_times > 3 * np.median(namd_times)) * 100:.0f}%",
+        ])
+    print("CM1-like: 2048 cores x 23 MB snapshots; "
+          "NAMD-like: 1024 cores, 512 B/core every second.\n")
+    print(format_table(
+        ["setup", "CM1 total I/O", "NAMD median", "NAMD worst",
+         "NAMD stalls"], rows))
+    print(
+        "\nThe tiny trajectory appends are latency-bound: under"
+        "\nuncoordinated sharing, every snapshot landing stretches a few"
+        "\nof them by orders of magnitude (the 'stalls' column counts"
+        "\niterations 3x over median).  Coordination bounds those tails"
+        "\nwithout measurably slowing the snapshot writer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Watching CALCioM decide: the Fig 11 scenario, decision by decision.
+
+Application A writes four output files; application B arrives at various
+offsets wanting to write one.  Under the CPU-seconds-wasted metric the
+paper derives the rule: *interrupt A iff dt < T_A(alone) - T_B(alone)*.
+This example replays the scenario across dt values and prints the
+arbiter's audit log — every decision with the predicted cost of each
+option — so you can see the rule emerge from the exchanged information.
+
+Run:  python examples/dynamic_decisions.py
+"""
+
+from repro.apps import IORConfig
+from repro.experiments import format_table, run_pair, standalone_time
+from repro.mpisim import Contiguous
+from repro.platforms import surveyor
+
+
+def app(name, nfiles):
+    return IORConfig(name=name, nprocs=2048,
+                     pattern=Contiguous(block_size=4_000_000),
+                     nfiles=nfiles, procs_per_node=4,
+                     scope="phase", grain="round")
+
+
+def main() -> None:
+    platform_cfg = surveyor()
+    t_a = standalone_time(platform_cfg, app("A", 4))
+    t_b = standalone_time(platform_cfg, app("B", 1))
+    crossover = t_a - t_b
+    print(f"T_A(alone) = {t_a:.2f}s   T_B(alone) = {t_b:.2f}s")
+    print(f"paper's rule: interrupt A iff dt < T_A - T_B = {crossover:.2f}s\n")
+
+    rows = []
+    for frac in (0.15, 0.40, 0.65, 0.90):
+        dt = round(frac * t_a, 2)
+        result = run_pair(platform_cfg, app("A", 4), app("B", 1), dt=dt,
+                          strategy="dynamic")
+        decision = next(d for d in result.decisions if d.app == "B")
+        rows.append([
+            dt,
+            f"{decision.costs.get('fcfs', float('nan')) / 2048:.2f}",
+            f"{decision.costs.get('interrupt', float('nan')) / 2048:.2f}",
+            decision.action.value,
+            f"{result.a.write_time:.2f}",
+            f"{result.b.write_time:.2f}",
+        ])
+    print(format_table(
+        ["dt", "predicted f(fcfs)/N", "predicted f(intr)/N",
+         "decision", "T_A", "T_B"], rows))
+    print(
+        "\nEach row is one run: when B arrives early, pausing A costs the"
+        "\nmachine less than making B wait out A's remaining bulk, so the"
+        "\narbiter interrupts; past the crossover the prediction flips and"
+        "\nB is serialized.  The predictions use only information the"
+        "\napplications exchanged via Prepare/Inform — no oracle state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: two applications, one shared file system, CALCioM on/off.
+
+Builds the simulated Grid'5000 Rennes platform, runs a big application
+(600 cores) against a small one (24 cores) writing at the same time, and
+compares uncoordinated interference with CALCioM's dynamic strategy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import IORConfig
+from repro.core import DynamicStrategy, SumInterferenceFactors
+from repro.experiments import format_table, run_pair
+from repro.mpisim import Strided
+from repro.platforms import grid5000_rennes
+
+
+def main() -> None:
+    platform_cfg = grid5000_rennes()
+
+    big = IORConfig(
+        name="big-sim", nprocs=600,
+        pattern=Strided(block_size=2_000_000, nblocks=8),  # 16 MB/process
+        procs_per_node=24,
+    )
+    small = IORConfig(
+        name="small-analysis", nprocs=24,
+        pattern=Strided(block_size=2_000_000, nblocks=8),
+        procs_per_node=24,
+    )
+
+    print("Two applications start writing 2 s apart on a 12-server "
+          "OrangeFS machine.\n")
+    rows = []
+    for label, strategy in [
+        ("uncoordinated", None),
+        ("CALCioM fcfs", "fcfs"),
+        ("CALCioM interrupt", "interrupt"),
+        ("CALCioM dynamic (CPU-seconds metric)", "dynamic"),
+        ("CALCioM dynamic (sum-of-I metric)",
+         DynamicStrategy(SumInterferenceFactors())),
+    ]:
+        result = run_pair(platform_cfg, big, small, dt=2.0,
+                          strategy=strategy)
+        rows.append([
+            label,
+            f"{result.a.write_time:.2f}s",
+            f"{result.b.write_time:.2f}s",
+            f"{result.a.interference_factor:.2f}",
+            f"{result.b.interference_factor:.2f}",
+        ])
+    print(format_table(
+        ["setup", "T big", "T small", "I big", "I small"], rows))
+    print(
+        "\nReading the table: without coordination the 24-core application"
+        "\nis slowed ~10x by its 600-core neighbour; interruption rescues it"
+        "\nat a small cost to the big application.  The dynamic strategy"
+        "\npicks per arrival — and the machine-wide efficiency metric decides"
+        "\nwho it protects: CPU-seconds favours the 600-core app (so the"
+        "\nsmall one waits), the interference-factor metric favours the"
+        "\nsmall one (so the big one is interrupted)."
+    )
+
+
+if __name__ == "__main__":
+    main()

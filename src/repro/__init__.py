@@ -1,0 +1,26 @@
+"""repro — reproduction of CALCioM (Dorier et al., IPDPS 2014).
+
+Cross-application I/O coordination on a from-scratch simulated HPC I/O
+stack.  Subpackages, bottom-up:
+
+* :mod:`repro.simcore` — discrete-event kernel + fluid max-min bandwidth.
+* :mod:`repro.network` — interconnect fabric.
+* :mod:`repro.storage` — PVFS-like parallel file system (striping, caches,
+  server schedulers).
+* :mod:`repro.mpisim` — simulated MPI, MPI-IO, two-phase I/O, ADIO.
+* :mod:`repro.core` — **CALCioM**: the paper's contribution.
+* :mod:`repro.apps` — IOR-like benchmark and application profiles.
+* :mod:`repro.traces` — workload traces and the Fig 1 statistics.
+* :mod:`repro.experiments` — Δ-graphs and the evaluation harness.
+* :mod:`repro.platforms` — the simulated testbeds (Surveyor, Grid'5000).
+"""
+
+__version__ = "0.1.0"
+
+from . import apps, core, experiments, mpisim, network, platforms, simcore
+from . import storage, traces
+
+__all__ = [
+    "simcore", "network", "storage", "mpisim", "core", "apps", "traces",
+    "experiments", "platforms", "__version__",
+]

@@ -1,0 +1,9 @@
+"""Application models: the IOR-like benchmark and paper-motivated profiles."""
+
+from .ior import IORApp, IORConfig, PhaseRecord
+from .profiles import checkpoint_like, cm1_like, namd_like
+
+__all__ = [
+    "IORApp", "IORConfig", "PhaseRecord",
+    "cm1_like", "namd_like", "checkpoint_like",
+]

@@ -1,0 +1,75 @@
+"""Application profiles from the paper's motivation (§II-E).
+
+The paper contrasts two real workloads to argue that I/O diversity defeats
+server-side-only scheduling:
+
+* **CM1** (atmospheric simulation on Blue Waters): "synchronously writes
+  snapshot files every 3 minutes, for an amount of 23 MB/core";
+* **NAMD** (chemistry): "writes trajectory files of a few bytes per core
+  every second through a designated set of output processors".
+
+These factories produce :class:`~repro.apps.ior.IORConfig` workloads with
+those shapes (scaled by a ``time_scale`` so experiments need not simulate
+minutes of compute to see one interference event).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mpisim import Contiguous
+from .ior import IORConfig
+
+__all__ = ["cm1_like", "namd_like", "checkpoint_like"]
+
+
+def cm1_like(nprocs: int, name: str = "cm1", start_time: float = 0.0,
+             iterations: int = 3, mb_per_core: float = 23.0,
+             period: float = 180.0, time_scale: float = 1.0) -> IORConfig:
+    """CM1-shaped workload: large synchronous periodic snapshots.
+
+    ``time_scale < 1`` shrinks the inter-snapshot period (data sizes are
+    untouched so contention physics stay honest).
+    """
+    return IORConfig(
+        name=name, nprocs=nprocs,
+        pattern=Contiguous(block_size=int(mb_per_core * 1e6)),
+        nfiles=1, iterations=iterations,
+        start_time=start_time, period=period * time_scale,
+        scope="phase", grain="round",
+    )
+
+
+def namd_like(nprocs: int, name: str = "namd", start_time: float = 0.0,
+              iterations: int = 30, bytes_per_core: float = 64.0,
+              period: float = 1.0, output_procs: Optional[int] = None) -> IORConfig:
+    """NAMD-shaped workload: tiny frequent trajectory appends.
+
+    The "designated set of output processors" becomes a small aggregator
+    count; each iteration moves only a few KB, so the workload is latency-
+    dominated — the kind of neighbour a snapshot writer barely notices but
+    that an unfair share can starve.
+    """
+    if output_procs is None:
+        output_procs = max(1, nprocs // 64)
+    return IORConfig(
+        name=name, nprocs=nprocs,
+        pattern=Contiguous(block_size=max(1, int(bytes_per_core))),
+        nfiles=1, iterations=iterations,
+        start_time=start_time, period=period,
+        scope="phase", grain="file",
+        naggregators=output_procs,
+    )
+
+
+def checkpoint_like(nprocs: int, name: str = "ckpt", start_time: float = 0.0,
+                    mb_per_core: float = 64.0, nfiles: int = 1,
+                    iterations: int = 1) -> IORConfig:
+    """Defensive-checkpoint workload: one heavyweight burst, N-1 style."""
+    return IORConfig(
+        name=name, nprocs=nprocs,
+        pattern=Contiguous(block_size=int(mb_per_core * 1e6)),
+        nfiles=nfiles, iterations=iterations,
+        start_time=start_time,
+        scope="phase", grain="round",
+    )

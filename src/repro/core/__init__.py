@@ -1,0 +1,34 @@
+"""CALCioM — the paper's contribution: cross-application I/O coordination.
+
+Public surface:
+
+* :class:`CalciomRuntime` — per-machine entry point; builds sessions.
+* :class:`CalciomSession` — per-application coordinator implementing the
+  paper's ``Prepare/Inform/Check/Wait/Release/Complete`` API and the ADIO
+  guard protocol.
+* Strategies: interfere / FCFS-serialize / interrupt / dynamic.
+* Metrics: CPU-seconds-wasted, sum of interference factors, max slowdown.
+"""
+
+from .api import CalciomRuntime
+from .arbiter import AccessState, Arbiter, DecisionRecord
+from .metrics import (
+    AccessDescriptor, CpuSecondsWasted, EfficiencyMetric, MaxSlowdown,
+    SumInterferenceFactors, TotalIOTime, make_metric,
+)
+from .registry import ApplicationRecord, ApplicationRegistry
+from .session import CalciomSession
+from .strategies import (
+    Action, Decision, DynamicStrategy, FCFSStrategy, InterfereStrategy,
+    InterruptStrategy, Strategy, make_strategy,
+)
+
+__all__ = [
+    "CalciomRuntime", "CalciomSession",
+    "Arbiter", "AccessState", "DecisionRecord",
+    "ApplicationRegistry", "ApplicationRecord",
+    "AccessDescriptor", "EfficiencyMetric", "CpuSecondsWasted",
+    "SumInterferenceFactors", "MaxSlowdown", "TotalIOTime", "make_metric",
+    "Strategy", "InterfereStrategy", "FCFSStrategy", "InterruptStrategy",
+    "DynamicStrategy", "Action", "Decision", "make_strategy",
+]

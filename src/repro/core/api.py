@@ -1,0 +1,105 @@
+"""CALCioM runtime: the machine-level entry point.
+
+Typical usage::
+
+    from repro.platforms import Platform, grid5000_rennes
+    from repro.core import CalciomRuntime
+
+    platform = Platform(grid5000_rennes())
+    runtime = CalciomRuntime(platform, strategy="dynamic")
+    client = platform.add_client("appA", nprocs=336)
+    session = runtime.session("appA", client, nprocs=336)
+    # hand `session` to an ADIOLayer (guard=session) — done.
+
+The runtime owns the arbiter (strategy enforcement), the application
+registry (job-scheduler integration), and builds per-application sessions
+wired with the platform's coordination latency and standalone-time
+estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..mpisim import Communicator
+from ..platforms import Platform
+from ..simcore import SimulationError
+from .arbiter import Arbiter
+from .registry import ApplicationRegistry
+from .session import CalciomSession
+from .strategies import Strategy, make_strategy
+
+__all__ = ["CalciomRuntime"]
+
+
+class CalciomRuntime:
+    """Cross-Application Layer for Coordinated I/O Management.
+
+    Parameters
+    ----------
+    platform:
+        The machine the applications run on (provides the simulator, the
+        coordination-message latency, and the standalone-time estimator
+        CALCioM sessions use for exchanged predictions).
+    strategy:
+        'interfere', 'fcfs', 'interrupt', 'dynamic', or a
+        :class:`~repro.core.strategies.Strategy` instance.
+    coordination_latency:
+        Override for the cross-application message latency (defaults to
+        twice the platform's link latency: coordinator -> peer coordinator
+        crosses the fabric once, through the switch).
+    """
+
+    def __init__(self, platform: Platform, strategy="dynamic",
+                 coordination_latency: Optional[float] = None):
+        self.platform = platform
+        self.sim = platform.sim
+        latency = (2 * platform.config.latency
+                   if coordination_latency is None else coordination_latency)
+        self.coordination_latency = float(latency)
+        self.arbiter = Arbiter(self.sim, strategy,
+                               grant_latency=self.coordination_latency)
+        # A system-provided arbiter knows its machine: give a dynamic
+        # strategy the file system's aggregate bandwidth so its
+        # interference predictions can honour client-side caps.
+        strat = self.arbiter.strategy
+        if getattr(strat, "capacity", "absent") is None:
+            strat.capacity = platform.config.aggregate_bandwidth
+        self.registry = ApplicationRegistry()
+        self._sessions: Dict[str, CalciomSession] = {}
+
+    @property
+    def strategy(self) -> Strategy:
+        return self.arbiter.strategy
+
+    def session(self, app: str, client: str, nprocs: int,
+                comm: Optional[Communicator] = None) -> CalciomSession:
+        """Create (and register) the CALCioM session for one application."""
+        if app in self._sessions:
+            raise SimulationError(f"application {app!r} already has a session")
+        self.registry.register(app, nprocs, client, self.sim.now)
+        session = CalciomSession(
+            self.sim, self.arbiter, app=app, client=client, nprocs=nprocs,
+            estimator=self.platform.standalone_write_time,
+            comm=comm,
+            coordination_latency=self.coordination_latency,
+        )
+        self._sessions[app] = session
+        return session
+
+    def end_job(self, app: str) -> None:
+        """Job termination: deregister and withdraw any access state."""
+        if app not in self._sessions:
+            raise SimulationError(f"unknown application {app!r}")
+        self.registry.unregister(app, self.sim.now)
+        self.arbiter.withdraw(app)
+        del self._sessions[app]
+
+    def sessions(self) -> Dict[str, CalciomSession]:
+        """Live sessions by application name."""
+        return dict(self._sessions)
+
+    @property
+    def decision_log(self):
+        """The arbiter's audit log of strategy decisions."""
+        return self.arbiter.decision_log

@@ -1,0 +1,210 @@
+"""The CALCioM arbiter: tracks access states and enforces strategy decisions.
+
+The paper leaves open whether decisions are taken by the applications
+themselves (peer to peer) or by "a system-provided entity"; the mechanism is
+the same information either way.  We implement the entity form — one
+:class:`Arbiter` per machine — because it makes the decision point explicit
+and auditable (every decision is logged with its predicted costs, which
+EXPERIMENTS.md quotes for Fig 11).
+
+State machine per application access::
+
+    IDLE --inform--> ACTIVE                    (strategy says GO)
+    IDLE --inform--> WAITING                   (strategy says WAIT)
+    ACTIVE --(another app's INTERRUPT)--> PREEMPTED
+    PREEMPTED/WAITING --grant--> ACTIVE
+    ACTIVE --complete--> IDLE  (grants: preempted first, then FIFO waiters)
+
+A *preempted* application keeps its in-flight request (interruption happens
+at the next guard hook — the round/file boundary, exactly like the paper's
+ADIO placement) and resumes with priority once the interrupter completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..simcore import Event, SimulationError, Simulator
+from .metrics import AccessDescriptor
+from .registry import ApplicationRegistry
+from .strategies import Action, Decision, Strategy, make_strategy
+
+__all__ = ["AccessState", "Arbiter", "DecisionRecord"]
+
+
+class AccessState(Enum):
+    IDLE = "idle"
+    ACTIVE = "active"
+    WAITING = "waiting"
+    PREEMPTED = "preempted"
+
+
+@dataclass
+class DecisionRecord:
+    """Audit-log entry for one strategy decision."""
+
+    time: float
+    app: str                 #: the informing application
+    action: Action
+    active: List[str]        #: apps active at decision time
+    waiting: List[str]
+    costs: Dict[str, float] = field(default_factory=dict)
+
+
+class Arbiter:
+    """Decision-maker and authorization bookkeeper."""
+
+    def __init__(self, sim: Simulator, strategy, grant_latency: float = 0.0):
+        self.sim = sim
+        self.strategy: Strategy = make_strategy(strategy)
+        self.grant_latency = float(grant_latency)
+        self._state: Dict[str, AccessState] = {}
+        self._desc: Dict[str, AccessDescriptor] = {}
+        self._waiting: List[str] = []     # FIFO arrival order
+        self._preempted: List[str] = []   # FIFO preemption order
+        self._auth_events: Dict[str, Event] = {}
+        self.decision_log: List[DecisionRecord] = []
+
+    # -- queries -----------------------------------------------------------
+    def state_of(self, app: str) -> AccessState:
+        return self._state.get(app, AccessState.IDLE)
+
+    def is_authorized(self, app: str) -> bool:
+        """Whether ``app`` may issue file-system requests right now."""
+        return self.state_of(app) is AccessState.ACTIVE
+
+    def descriptor_of(self, app: str) -> Optional[AccessDescriptor]:
+        return self._desc.get(app)
+
+    def active_descriptors(self) -> List[AccessDescriptor]:
+        return [self._desc[a] for a, s in self._state.items()
+                if s is AccessState.ACTIVE]
+
+    def waiting_descriptors(self) -> List[AccessDescriptor]:
+        return [self._desc[a] for a in self._waiting]
+
+    def authorization_event(self, app: str) -> Event:
+        """Event that fires when ``app`` becomes (or already is) authorized."""
+        if self.is_authorized(app):
+            ev = self.sim.event()
+            ev.succeed(None)
+            return ev
+        ev = self._auth_events.get(app)
+        if ev is None or ev.triggered:
+            ev = self.sim.event()
+            self._auth_events[app] = ev
+        return ev
+
+    # -- protocol entry points -----------------------------------------------
+    def on_inform(self, descriptor: AccessDescriptor) -> bool:
+        """An application announces (or refreshes) an access.
+
+        Returns True if the application is authorized after the call.
+        """
+        app = descriptor.app
+        state = self.state_of(app)
+        if state in (AccessState.ACTIVE, AccessState.WAITING,
+                     AccessState.PREEMPTED):
+            # Continuation or refresh: update knowledge, no new decision.
+            self._merge_descriptor(app, descriptor)
+            return state is AccessState.ACTIVE
+
+        decision = self.strategy.decide(
+            self.sim.now,
+            self.active_descriptors(),
+            self.waiting_descriptors(),
+            descriptor,
+        )
+        self.decision_log.append(DecisionRecord(
+            time=self.sim.now, app=app, action=decision.action,
+            active=[d.app for d in self.active_descriptors()],
+            waiting=list(self._waiting), costs=dict(decision.costs),
+        ))
+        self._desc[app] = descriptor
+        if decision.action is Action.GO:
+            self._activate(app)
+            return True
+        if decision.action is Action.WAIT:
+            self._state[app] = AccessState.WAITING
+            self._waiting.append(app)
+            return False
+        if decision.action is Action.DELAY:
+            # Fig 12's tradeoff: hold the newcomer briefly, then let it
+            # share.  An earlier grant (actives completing) still wins.
+            self._state[app] = AccessState.WAITING
+            self._waiting.append(app)
+
+            def _hold_expired() -> None:
+                if self.state_of(app) is AccessState.WAITING:
+                    if app in self._waiting:
+                        self._waiting.remove(app)
+                    self._activate(app)
+
+            self.sim.call_at(self.sim.now + max(0.0, decision.delay),
+                             _hold_expired)
+            return False
+        # INTERRUPT: revoke targets' authorization, then run.
+        targets = decision.preempt
+        if targets is None:
+            targets = [d.app for d in self.active_descriptors()]
+        for victim in targets:
+            if self.state_of(victim) is AccessState.ACTIVE:
+                self._state[victim] = AccessState.PREEMPTED
+                self._preempted.append(victim)
+        self._activate(app)
+        return True
+
+    def on_release(self, app: str, remaining_bytes: Optional[float] = None) -> None:
+        """End of one guarded step: refresh remaining-work knowledge."""
+        desc = self._desc.get(app)
+        if desc is not None and remaining_bytes is not None:
+            desc.remaining_bytes = max(0.0, float(remaining_bytes))
+
+    def on_complete(self, app: str) -> None:
+        """The whole access finished: free the slot, grant successors."""
+        state = self.state_of(app)
+        if state is AccessState.IDLE:
+            return
+        if app in self._waiting:
+            self._waiting.remove(app)
+        if app in self._preempted:
+            self._preempted.remove(app)
+        self._state[app] = AccessState.IDLE
+        self._desc.pop(app, None)
+        self._grant_next()
+
+    def withdraw(self, app: str) -> None:
+        """Remove an application entirely (job end, error paths)."""
+        self.on_complete(app)
+
+    # -- internals --------------------------------------------------------------
+    def _merge_descriptor(self, app: str, incoming: AccessDescriptor) -> None:
+        current = self._desc.get(app)
+        if current is None:
+            self._desc[app] = incoming
+            return
+        current.remaining_bytes = incoming.remaining_bytes
+        current.rounds = incoming.rounds
+
+    def _activate(self, app: str) -> None:
+        self._state[app] = AccessState.ACTIVE
+        desc = self._desc.get(app)
+        if desc is not None and desc.access_started is None:
+            desc.access_started = self.sim.now
+        ev = self._auth_events.pop(app, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed(None, delay=self.grant_latency)
+
+    def _grant_next(self) -> None:
+        """Grant priority to preempted apps, then the FIFO waiter queue."""
+        if self.active_descriptors():
+            return  # someone is still running; nothing to grant
+        if self._preempted:
+            app = self._preempted.pop(0)
+            self._activate(app)
+            return
+        if self._waiting:
+            app = self._waiting.pop(0)
+            self._activate(app)

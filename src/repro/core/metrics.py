@@ -1,0 +1,158 @@
+"""Machine-wide efficiency metrics.
+
+The paper's central argument is that per-application "fairness" is the
+wrong objective: scheduling decisions should optimize *a specified metric
+of machine-wide efficiency* (§I, §III-A.4).  A metric here maps predicted
+per-application I/O times to a scalar cost; strategies pick the option with
+the lowest predicted cost.
+
+Implemented metrics:
+
+* :class:`CpuSecondsWasted` — f = Σ N_X · T_X, the paper's Fig 11 metric
+  ("total number of CPU hours wasted in I/O phases").
+* :class:`SumInterferenceFactors` — f = Σ T_X / T_X(alone), the §III-A.4
+  example (avoids small apps being crushed by big ones).
+* :class:`MaxSlowdown` — f = max T_X / T_X(alone), a fairness-flavoured
+  alternative for the metric-choice ablation.
+* :class:`TotalIOTime` — f = Σ T_X, size-blind (what a naive scheduler
+  would optimize).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "AccessDescriptor", "EfficiencyMetric", "CpuSecondsWasted",
+    "SumInterferenceFactors", "MaxSlowdown", "TotalIOTime", "make_metric",
+]
+
+
+@dataclass
+class AccessDescriptor:
+    """What CALCioM knows about one application's current/pending access.
+
+    Every field is *exchanged information* (via ``Prepare``/``Inform``) or
+    derived from it — never oracle simulator state.  That constraint is a
+    design principle of the paper: CALCioM only provides the means by which
+    applications communicate.
+    """
+
+    app: str                      #: application name
+    nprocs: int                   #: cores behind the access
+    total_bytes: float            #: bytes the access intends to move
+    t_alone: float                #: estimated standalone duration, s
+    remaining_bytes: float = 0.0  #: bytes not yet written
+    access_started: Optional[float] = None  #: time the access began, if it has
+    files: int = 1                #: files in the access
+    rounds: int = 1               #: collective-buffering rounds
+
+    def __post_init__(self) -> None:
+        if self.remaining_bytes == 0.0:
+            self.remaining_bytes = self.total_bytes
+
+    @property
+    def remaining_t(self) -> float:
+        """Estimated standalone time to finish the remaining bytes."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.t_alone * (self.remaining_bytes / self.total_bytes)
+
+    def copy(self) -> "AccessDescriptor":
+        return AccessDescriptor(
+            app=self.app, nprocs=self.nprocs, total_bytes=self.total_bytes,
+            t_alone=self.t_alone, remaining_bytes=self.remaining_bytes,
+            access_started=self.access_started, files=self.files,
+            rounds=self.rounds,
+        )
+
+
+class EfficiencyMetric(ABC):
+    """Scalar cost of a predicted outcome; lower is better."""
+
+    name: str = "metric"
+
+    @abstractmethod
+    def cost(self, predicted_io_times: Dict[str, float],
+             descriptors: Dict[str, AccessDescriptor]) -> float:
+        """Cost of an option.
+
+        Parameters
+        ----------
+        predicted_io_times:
+            app -> predicted total I/O-phase time (including any waiting)
+            under the option being evaluated.
+        descriptors:
+            app -> exchanged knowledge (for weights and t_alone baselines).
+        """
+
+
+class CpuSecondsWasted(EfficiencyMetric):
+    """f = Σ N_X · T_X — CPU time not spent on science (paper Fig 11)."""
+
+    name = "cpu-seconds-wasted"
+
+    def cost(self, predicted_io_times, descriptors):
+        return sum(descriptors[app].nprocs * t
+                   for app, t in predicted_io_times.items())
+
+
+class SumInterferenceFactors(EfficiencyMetric):
+    """f = Σ T_X / T_X(alone) — §III-A.4's example objective."""
+
+    name = "sum-interference-factors"
+
+    def cost(self, predicted_io_times, descriptors):
+        total = 0.0
+        for app, t in predicted_io_times.items():
+            t_alone = descriptors[app].t_alone
+            total += t / t_alone if t_alone > 0 else 0.0
+        return total
+
+
+class MaxSlowdown(EfficiencyMetric):
+    """f = max_X T_X / T_X(alone) — bounds the worst-treated application."""
+
+    name = "max-slowdown"
+
+    def cost(self, predicted_io_times, descriptors):
+        worst = 0.0
+        for app, t in predicted_io_times.items():
+            t_alone = descriptors[app].t_alone
+            if t_alone > 0:
+                worst = max(worst, t / t_alone)
+        return worst
+
+
+class TotalIOTime(EfficiencyMetric):
+    """f = Σ T_X — ignores application size entirely."""
+
+    name = "total-io-time"
+
+    def cost(self, predicted_io_times, descriptors):
+        return sum(predicted_io_times.values())
+
+
+_METRICS = {
+    cls.name: cls
+    for cls in (CpuSecondsWasted, SumInterferenceFactors, MaxSlowdown,
+                TotalIOTime)
+}
+
+
+def make_metric(spec) -> EfficiencyMetric:
+    """Build a metric from a name, class, or instance."""
+    if isinstance(spec, EfficiencyMetric):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _METRICS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {spec!r}; choose from {sorted(_METRICS)}"
+            ) from None
+    if isinstance(spec, type) and issubclass(spec, EfficiencyMetric):
+        return spec()
+    raise TypeError(f"cannot build a metric from {spec!r}")

@@ -1,0 +1,74 @@
+"""Running-application registry (the "job scheduler" integration point).
+
+The paper: "Retrieving the list of other running applications is done
+through communications with the machine's job scheduler when the job starts
+and finishes."  This registry plays that role: applications (their
+CALCioM coordinators) appear here for the lifetime of the job, and the
+arbiter consults it to know who can be coordinated with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..simcore import SimulationError
+
+__all__ = ["ApplicationRecord", "ApplicationRegistry"]
+
+
+@dataclass
+class ApplicationRecord:
+    """One running application as the job scheduler sees it."""
+
+    name: str
+    nprocs: int
+    client: str          #: fabric endpoint
+    registered_at: float
+    finished_at: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        return self.finished_at is None
+
+
+class ApplicationRegistry:
+    """Job-scheduler view of what is running on the machine."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, ApplicationRecord] = {}
+
+    def register(self, name: str, nprocs: int, client: str,
+                 now: float) -> ApplicationRecord:
+        """Record a job start."""
+        existing = self._records.get(name)
+        if existing is not None and existing.running:
+            raise SimulationError(f"application {name!r} already registered")
+        record = ApplicationRecord(name=name, nprocs=nprocs, client=client,
+                                   registered_at=now)
+        self._records[name] = record
+        return record
+
+    def unregister(self, name: str, now: float) -> None:
+        """Record a job end."""
+        record = self._records.get(name)
+        if record is None or not record.running:
+            raise SimulationError(f"application {name!r} is not running")
+        record.finished_at = now
+
+    def lookup(self, name: str) -> ApplicationRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise SimulationError(f"unknown application {name!r}") from None
+
+    def running(self) -> List[ApplicationRecord]:
+        """All currently running applications."""
+        return [r for r in self._records.values() if r.running]
+
+    def peers_of(self, name: str) -> List[ApplicationRecord]:
+        """Every running application except ``name``."""
+        return [r for r in self.running() if r.name != name]
+
+    def __len__(self) -> int:
+        return len(self.running())

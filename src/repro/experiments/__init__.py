@@ -1,0 +1,26 @@
+"""Experiment harness: Δ-graphs, pairwise runs, expected curves, reporting."""
+
+from .deltagraph import DeltaGraph, run_delta_graph
+from .expected import TwoFlowModel, expected_delta_curve, expected_pair_times
+from .export import delta_graph_csv, multi_result_csv
+from .interference import (
+    cpu_seconds_wasted, efficiency_summary, interference_factor,
+    sum_interference_factors,
+)
+from .multi import MultiResult, run_many
+from .replay import ReplayPlan, plan_replay, replay_trace
+from .reporting import banner, format_series, format_table, sparkline
+from .runner import AppRecord, PairResult, run_pair, run_single, standalone_time
+from .sweeps import size_split_sweep, split_pairs, strategy_comparison
+
+__all__ = [
+    "DeltaGraph", "run_delta_graph",
+    "TwoFlowModel", "expected_pair_times", "expected_delta_curve",
+    "interference_factor", "sum_interference_factors", "cpu_seconds_wasted",
+    "efficiency_summary",
+    "AppRecord", "PairResult", "run_single", "run_pair", "standalone_time",
+    "MultiResult", "run_many", "ReplayPlan", "plan_replay", "replay_trace",
+    "delta_graph_csv", "multi_result_csv",
+    "split_pairs", "size_split_sweep", "strategy_comparison",
+    "format_table", "format_series", "sparkline", "banner",
+]

@@ -1,0 +1,94 @@
+"""Δ-graph experiments (§II-C).
+
+"Application A starts writing at a reference date t = 0, application B
+starts at a date t = dt, and we measure the performance of A and B.  A set
+of experiments with different values of dt allows us to plot the measured
+performance as a function of dt."
+
+:func:`run_delta_graph` sweeps dt for a pair of workloads under one
+coordination setup and returns the full series — write times, interference
+factors, and (optionally) the analytic expected curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..apps import IORConfig
+from ..platforms import PlatformConfig
+from .expected import expected_delta_curve
+from .runner import PairResult, run_pair, standalone_time
+
+__all__ = ["DeltaGraph", "run_delta_graph"]
+
+
+@dataclass
+class DeltaGraph:
+    """One Δ-graph: per-dt measurements for a pair of applications."""
+
+    dts: np.ndarray
+    t_a: np.ndarray             #: A's first-phase write times
+    t_b: np.ndarray
+    t_alone_a: float
+    t_alone_b: float
+    strategy: Optional[str]
+    expected_a: Optional[np.ndarray] = None
+    expected_b: Optional[np.ndarray] = None
+    pairs: List[PairResult] = field(default_factory=list)
+
+    @property
+    def interference_a(self) -> np.ndarray:
+        """A's interference factor I(dt) = T_A(dt) / T_A(alone)."""
+        return self.t_a / self.t_alone_a
+
+    @property
+    def interference_b(self) -> np.ndarray:
+        return self.t_b / self.t_alone_b
+
+    def max_interference_b(self) -> float:
+        return float(self.interference_b.max())
+
+    def rows(self):
+        """(dt, T_A, T_B, I_A, I_B) tuples, for table printing."""
+        return list(zip(self.dts, self.t_a, self.t_b,
+                        self.interference_a, self.interference_b))
+
+
+def run_delta_graph(platform_cfg: PlatformConfig, cfg_a: IORConfig,
+                    cfg_b: IORConfig, dts: Sequence[float],
+                    strategy: Optional[str] = None,
+                    with_expected: bool = False) -> DeltaGraph:
+    """Sweep ``dts`` for (A, B) under ``strategy`` (None = uncoordinated).
+
+    Each dt is an independent experiment on a fresh platform.  The
+    standalone baselines are measured once and shared.
+    """
+    t_alone_a = standalone_time(platform_cfg, cfg_a)
+    t_alone_b = standalone_time(platform_cfg, cfg_b)
+    t_a = np.empty(len(dts))
+    t_b = np.empty(len(dts))
+    pairs: List[PairResult] = []
+    for i, dt in enumerate(dts):
+        pair = run_pair(platform_cfg, cfg_a, cfg_b, dt=float(dt),
+                        strategy=strategy, measure_alone=False)
+        pair.a.t_alone = t_alone_a
+        pair.b.t_alone = t_alone_b
+        t_a[i] = pair.a.write_time
+        t_b[i] = pair.b.write_time
+        pairs.append(pair)
+    graph = DeltaGraph(
+        dts=np.asarray(dts, dtype=float), t_a=t_a, t_b=t_b,
+        t_alone_a=t_alone_a, t_alone_b=t_alone_b,
+        strategy=strategy, pairs=pairs,
+    )
+    if with_expected:
+        graph.expected_a, graph.expected_b = expected_delta_curve(
+            platform_cfg,
+            cfg_a.nprocs, cfg_a.bytes_per_phase,
+            cfg_b.nprocs, cfg_b.bytes_per_phase,
+            graph.dts,
+        )
+    return graph

@@ -1,0 +1,129 @@
+"""Closed-form expected interference under proportional sharing (§II-C).
+
+The paper overlays its Δ-graphs with "the expected interference as a
+piecewise linear function, assuming a proportional sharing of resources
+between the two applications".  This module computes that curve exactly for
+two applications with arbitrary sizes:
+
+* each application alone drains at ``min(N·c, S)`` (client-limited or
+  file-system-limited);
+* while both are writing, rates are weighted max-min shares of S with
+  weights N_A, N_B and per-application caps N·c;
+* integrate piecewise until both are done.
+
+The result is both the "Expected" series of Figs 2/7/8 and the default
+interference estimator the extended dynamic strategy can use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..platforms import PlatformConfig
+
+__all__ = ["expected_pair_times", "expected_delta_curve", "TwoFlowModel"]
+
+
+@dataclass(frozen=True)
+class TwoFlowModel:
+    """Analytic two-application fluid model on one shared bottleneck."""
+
+    capacity: float    #: shared file-system bandwidth S, B/s
+    weight_a: float    #: application A's share weight (its core count)
+    weight_b: float
+    cap_a: float       #: A's client-side bandwidth ceiling, B/s
+    cap_b: float
+
+    def shared_rates(self) -> Tuple[float, float]:
+        """Weighted max-min rates while both applications are writing."""
+        # Start from proportional shares, then water-fill around caps.
+        wa, wb = self.weight_a, self.weight_b
+        ra = self.capacity * wa / (wa + wb)
+        rb = self.capacity * wb / (wa + wb)
+        if ra > self.cap_a:
+            ra = self.cap_a
+            rb = min(self.cap_b, self.capacity - ra)
+        elif rb > self.cap_b:
+            rb = self.cap_b
+            ra = min(self.cap_a, self.capacity - rb)
+        return ra, rb
+
+    def alone_rate_a(self) -> float:
+        return min(self.cap_a, self.capacity)
+
+    def alone_rate_b(self) -> float:
+        return min(self.cap_b, self.capacity)
+
+    def pair_times(self, bytes_a: float, bytes_b: float,
+                   dt: float) -> Tuple[float, float]:
+        """Write times of A and B when B starts ``dt`` after A.
+
+        Returns (T_A, T_B) measured from each application's own start.
+        Negative ``dt`` means B starts first (by symmetry).
+        """
+        if dt < 0:
+            tb, ta = TwoFlowModel(
+                self.capacity, self.weight_b, self.weight_a,
+                self.cap_b, self.cap_a,
+            ).pair_times(bytes_b, bytes_a, -dt)
+            return ta, tb
+        rem_a, rem_b = float(bytes_a), float(bytes_b)
+        # Phase 1: A alone for dt seconds.
+        ra = self.alone_rate_a()
+        solo = min(dt, rem_a / ra if ra > 0 else np.inf)
+        rem_a -= ra * solo
+        t = solo
+        if rem_a <= 1e-9:
+            # A finished before B even started: both run alone.
+            ta = bytes_a / ra
+            tb = bytes_b / self.alone_rate_b()
+            return ta, tb
+        t = dt  # B starts now (A idled any gap, but solo == dt here)
+        # Phase 2: both share until one finishes.
+        ra_s, rb_s = self.shared_rates()
+        dt_a = rem_a / ra_s if ra_s > 0 else np.inf
+        dt_b = rem_b / rb_s if rb_s > 0 else np.inf
+        if dt_a <= dt_b:
+            # A drains first; B continues alone.
+            t_a_done = t + dt_a
+            rem_b -= rb_s * dt_a
+            t_b_done = t_a_done + rem_b / self.alone_rate_b()
+        else:
+            t_b_done = t + dt_b
+            rem_a -= ra_s * dt_b
+            t_a_done = t_b_done + rem_a / self.alone_rate_a()
+        return t_a_done, t_b_done - dt
+
+    @classmethod
+    def from_platform(cls, cfg: PlatformConfig, nprocs_a: int,
+                      nprocs_b: int) -> "TwoFlowModel":
+        return cls(
+            capacity=cfg.aggregate_bandwidth,
+            weight_a=nprocs_a,
+            weight_b=nprocs_b,
+            cap_a=nprocs_a * cfg.per_core_bandwidth,
+            cap_b=nprocs_b * cfg.per_core_bandwidth,
+        )
+
+
+def expected_pair_times(cfg: PlatformConfig, nprocs_a: int, bytes_a: float,
+                        nprocs_b: int, bytes_b: float,
+                        dt: float) -> Tuple[float, float]:
+    """Expected (T_A, T_B) under proportional sharing on platform ``cfg``."""
+    model = TwoFlowModel.from_platform(cfg, nprocs_a, nprocs_b)
+    return model.pair_times(bytes_a, bytes_b, dt)
+
+
+def expected_delta_curve(cfg: PlatformConfig, nprocs_a: int, bytes_a: float,
+                         nprocs_b: int, bytes_b: float,
+                         dts) -> Tuple[np.ndarray, np.ndarray]:
+    """Expected Δ-graph series: arrays (T_A(dt), T_B(dt)) over ``dts``."""
+    model = TwoFlowModel.from_platform(cfg, nprocs_a, nprocs_b)
+    ta = np.empty(len(dts))
+    tb = np.empty(len(dts))
+    for i, dt in enumerate(dts):
+        ta[i], tb[i] = model.pair_times(bytes_a, bytes_b, float(dt))
+    return ta, tb

@@ -1,0 +1,65 @@
+"""Result export: turn experiment objects into CSV for external tooling.
+
+The benchmarks print ASCII series; downstream users plotting against the
+paper want machine-readable output.  These helpers are intentionally
+dependency-free (plain ``csv``-style strings) so results can be shipped
+anywhere.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .deltagraph import DeltaGraph
+from .multi import MultiResult
+
+__all__ = ["delta_graph_csv", "multi_result_csv"]
+
+
+def _write_rows(header, rows) -> str:
+    buf = io.StringIO()
+    buf.write(",".join(header) + "\n")
+    for row in rows:
+        buf.write(",".join(_cell(v) for v in row) + "\n")
+    return buf.getvalue()
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    text = str(value)
+    if "," in text or '"' in text:
+        text = '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def delta_graph_csv(graph: DeltaGraph) -> str:
+    """One row per dt: write times, interference factors, expected curve."""
+    header = ["dt", "t_a", "t_b", "i_a", "i_b"]
+    has_expected = graph.expected_a is not None
+    if has_expected:
+        header += ["expected_a", "expected_b"]
+    rows = []
+    for i in range(len(graph.dts)):
+        row = [float(graph.dts[i]), float(graph.t_a[i]), float(graph.t_b[i]),
+               float(graph.interference_a[i]), float(graph.interference_b[i])]
+        if has_expected:
+            row += [float(graph.expected_a[i]), float(graph.expected_b[i])]
+        rows.append(row)
+    return _write_rows(header, rows)
+
+
+def multi_result_csv(result: MultiResult) -> str:
+    """One row per application: first-phase time, baseline, factor."""
+    header = ["app", "nprocs", "write_time", "t_alone",
+              "interference_factor", "wait_time"]
+    rows = []
+    for name in sorted(result.records):
+        rec = result.records[name]
+        rows.append([
+            name, rec.nprocs, rec.write_time,
+            rec.t_alone if rec.t_alone is not None else "",
+            rec.interference_factor if rec.t_alone else "",
+            rec.wait_times[0] if rec.wait_times else 0.0,
+        ])
+    return _write_rows(header, rows)

@@ -1,0 +1,61 @@
+"""Interference-factor arithmetic (§II-C).
+
+    I = T / T(alone)  >= 1
+
+"I is arguably more appropriate to study interference because it gives an
+absolute reference for a noninterfering system: I = 1.  Moreover, it allows
+the comparison of applications that have different size or different I/O
+requirements."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+__all__ = [
+    "interference_factor", "sum_interference_factors", "cpu_seconds_wasted",
+    "efficiency_summary",
+]
+
+
+def interference_factor(measured: float, alone: float) -> float:
+    """I = T / T_alone.  Values below 1 (within noise) indicate a
+    measurement problem and raise."""
+    if alone <= 0:
+        raise ValueError(f"standalone time must be positive, got {alone}")
+    if measured < 0:
+        raise ValueError(f"measured time must be >= 0, got {measured}")
+    factor = measured / alone
+    if factor < 0.999:
+        raise ValueError(
+            f"interference factor {factor:.3f} < 1: contention cannot speed "
+            "an application up; check the baselines"
+        )
+    return factor
+
+
+def sum_interference_factors(measured: Mapping[str, float],
+                             alone: Mapping[str, float]) -> float:
+    """f = Σ_X I_X over applications (§III-A.4's example objective)."""
+    return sum(interference_factor(measured[app], alone[app])
+               for app in measured)
+
+
+def cpu_seconds_wasted(io_times: Mapping[str, float],
+                       nprocs: Mapping[str, int]) -> float:
+    """f = Σ_X N_X · T_X (the paper's Fig 11 metric)."""
+    return sum(nprocs[app] * io_times[app] for app in io_times)
+
+
+def efficiency_summary(io_times: Mapping[str, float],
+                       alone: Mapping[str, float],
+                       nprocs: Mapping[str, int]) -> Dict[str, float]:
+    """All machine-wide metrics for one experiment, keyed by metric name."""
+    factors = {app: interference_factor(io_times[app], alone[app])
+               for app in io_times}
+    return {
+        "cpu-seconds-wasted": cpu_seconds_wasted(io_times, nprocs),
+        "sum-interference-factors": sum(factors.values()),
+        "max-slowdown": max(factors.values()),
+        "total-io-time": sum(io_times.values()),
+    }

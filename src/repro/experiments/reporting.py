@@ -1,0 +1,68 @@
+"""Plain-text reporting for benchmark output.
+
+Every benchmark prints the same rows/series the paper's figure shows, so a
+reader can diff shapes against the paper without plotting.  Tables are
+fixed-width ASCII; series are ``x: value`` lines with an optional sparkline
+for quick shape reading in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "sparkline", "banner"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section header line."""
+    pad = max(0, width - len(title) - 4)
+    return f"== {title} {'=' * pad}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 floatfmt: str = "{:.3g}") -> str:
+    """Fixed-width table; floats formatted with ``floatfmt``."""
+    def cell(v) -> str:
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return floatfmt.format(float(v))
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, s in enumerate(row):
+            widths[i] = max(widths[i], len(s))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(s.rjust(w) for s, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (constant series -> flat line)."""
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[3] * len(arr)
+    idx = np.round((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float],
+                  xlabel: str = "x", ylabel: str = "y",
+                  floatfmt: str = "{:.3g}") -> str:
+    """A labelled series with sparkline plus the raw rows."""
+    lines = [f"{name}  [{ylabel} vs {xlabel}]  {sparkline(ys)}"]
+    for x, y in zip(xs, ys):
+        xcell = floatfmt.format(float(x)) if isinstance(x, (float, np.floating)) else str(x)
+        lines.append(f"  {xlabel}={xcell:>8}  {ylabel}={floatfmt.format(float(y))}")
+    return "\n".join(lines)

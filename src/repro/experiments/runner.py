@@ -1,0 +1,166 @@
+"""Experiment orchestration: standalone and pairwise application runs.
+
+Every figure in the paper reduces to "run application A (and maybe B) on a
+fresh machine under some coordination setup and record phase times".  The
+runner builds a clean platform per run (experiments never share simulator
+state, mirroring the authors reserving the full machine per experiment),
+wires CALCioM if requested, runs to completion, and returns records with
+standalone baselines attached so interference factors are immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..apps import IORApp, IORConfig
+from ..core import CalciomRuntime, DecisionRecord
+from ..platforms import Platform, PlatformConfig
+
+__all__ = ["AppRecord", "PairResult", "run_single", "run_pair",
+           "standalone_time"]
+
+
+@dataclass
+class AppRecord:
+    """Measured outcome of one application in one experiment."""
+
+    name: str
+    nprocs: int
+    write_times: List[float]      #: per-iteration I/O-phase durations
+    wait_times: List[float]       #: per-iteration time blocked in CALCioM
+    comm_times: List[float]       #: per-iteration shuffle time
+    io_write_times: List[float]   #: per-iteration pure write time
+    t_alone: Optional[float] = None  #: standalone single-phase baseline
+
+    @property
+    def write_time(self) -> float:
+        """First-phase duration (the Δ-graph y-value)."""
+        return self.write_times[0]
+
+    @property
+    def interference_factor(self) -> float:
+        """I = T / T(alone) for the first phase (>= 1 under contention)."""
+        if self.t_alone is None or self.t_alone <= 0:
+            raise ValueError(f"no standalone baseline for {self.name!r}")
+        return self.write_time / self.t_alone
+
+    @classmethod
+    def from_app(cls, app: IORApp, t_alone: Optional[float] = None) -> "AppRecord":
+        return cls(
+            name=app.config.name,
+            nprocs=app.config.nprocs,
+            write_times=[p.duration for p in app.phases],
+            wait_times=[p.wait_time for p in app.phases],
+            comm_times=[p.comm_time for p in app.phases],
+            io_write_times=[p.write_time for p in app.phases],
+            t_alone=t_alone,
+        )
+
+
+@dataclass
+class PairResult:
+    """Outcome of a two-application interference experiment."""
+
+    a: AppRecord
+    b: AppRecord
+    strategy: Optional[str]       #: None = uncoordinated baseline
+    dt: float                     #: B's start offset relative to A
+    decisions: List[DecisionRecord] = field(default_factory=list)
+
+    def record(self, name: str) -> AppRecord:
+        if name == self.a.name:
+            return self.a
+        if name == self.b.name:
+            return self.b
+        raise KeyError(name)
+
+    def cpu_seconds_wasted(self) -> float:
+        """Fig 11's metric over the first phase: Σ N_X · T_X."""
+        return (self.a.nprocs * self.a.write_time
+                + self.b.nprocs * self.b.write_time)
+
+    def sum_interference_factors(self) -> float:
+        return self.a.interference_factor + self.b.interference_factor
+
+
+def run_single(platform_cfg: PlatformConfig, cfg: IORConfig,
+               strategy: Optional[str] = None) -> IORApp:
+    """Run one application alone on a fresh platform; returns the app."""
+    platform = Platform(platform_cfg)
+    if strategy is not None:
+        runtime = CalciomRuntime(platform, strategy=strategy)
+        app = IORApp(platform, cfg)
+        # Replace the guard after client registration (session needs the
+        # client name, which IORApp creates).
+        session = runtime.session(cfg.name, app.client, cfg.nprocs, app.comm)
+        app.guard = session
+        app.adio.guard = session
+    else:
+        app = IORApp(platform, cfg)
+    app.start()
+    platform.sim.run()
+    return app
+
+
+_alone_cache: Dict[tuple, float] = {}
+
+
+def standalone_time(platform_cfg: PlatformConfig, cfg: IORConfig,
+                    use_cache: bool = True) -> float:
+    """Measured single-phase duration of ``cfg`` running alone.
+
+    Memoized on (platform, workload) — Δ-graph sweeps reuse the same
+    baseline for every dt.
+    """
+    key = (platform_cfg, replace(cfg, start_time=0.0, name="_alone"))
+    if use_cache and key in _alone_cache:
+        return _alone_cache[key]
+    app = run_single(platform_cfg, key[1])
+    value = app.phases[0].duration
+    if use_cache:
+        _alone_cache[key] = value
+    return value
+
+
+def run_pair(platform_cfg: PlatformConfig, cfg_a: IORConfig, cfg_b: IORConfig,
+             dt: float = 0.0, strategy: Optional[str] = None,
+             measure_alone: bool = True) -> PairResult:
+    """Run two applications with B offset by ``dt`` (negative: B first).
+
+    ``strategy=None`` runs the uncoordinated baseline (no CALCioM layer at
+    all); otherwise both applications get CALCioM sessions under the named
+    strategy ('interfere' exercises the layer with GO-always decisions,
+    isolating pure coordination overhead).
+    """
+    if dt >= 0:
+        cfg_a = replace(cfg_a, start_time=0.0)
+        cfg_b = replace(cfg_b, start_time=dt)
+    else:
+        cfg_a = replace(cfg_a, start_time=-dt)
+        cfg_b = replace(cfg_b, start_time=0.0)
+
+    platform = Platform(platform_cfg)
+    runtime: Optional[CalciomRuntime] = None
+    app_a = IORApp(platform, cfg_a)
+    app_b = IORApp(platform, cfg_b)
+    if strategy is not None:
+        runtime = CalciomRuntime(platform, strategy=strategy)
+        for app in (app_a, app_b):
+            session = runtime.session(app.config.name, app.client,
+                                      app.config.nprocs, app.comm)
+            app.guard = session
+            app.adio.guard = session
+    app_a.start()
+    app_b.start()
+    platform.sim.run()
+
+    t_alone_a = standalone_time(platform_cfg, cfg_a) if measure_alone else None
+    t_alone_b = standalone_time(platform_cfg, cfg_b) if measure_alone else None
+    return PairResult(
+        a=AppRecord.from_app(app_a, t_alone_a),
+        b=AppRecord.from_app(app_b, t_alone_b),
+        strategy=strategy,
+        dt=dt,
+        decisions=list(runtime.decision_log) if runtime else [],
+    )

@@ -1,0 +1,57 @@
+"""Parameter-sweep helpers shared by Fig 4/6/9 benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps import IORConfig
+from ..platforms import PlatformConfig
+from .deltagraph import DeltaGraph, run_delta_graph
+from .runner import PairResult, run_pair
+
+__all__ = ["split_pairs", "size_split_sweep", "strategy_comparison"]
+
+
+def split_pairs(total_cores: int, sizes_b: Sequence[int]
+                ) -> List[Tuple[int, int]]:
+    """Fig 6/9 style splits: (N_A, N_B) with N_A = total - N_B.
+
+    E.g. ``split_pairs(768, [24, 48, 96, 192, 384])`` reproduces the
+    paper's G5K division of 768 cores.
+    """
+    pairs = []
+    for nb in sizes_b:
+        if not 0 < nb < total_cores:
+            raise ValueError(f"invalid split: B={nb} of {total_cores}")
+        pairs.append((total_cores - nb, nb))
+    return pairs
+
+
+def size_split_sweep(platform_cfg: PlatformConfig, base_a: IORConfig,
+                     base_b: IORConfig, total_cores: int,
+                     sizes_b: Sequence[int], dts: Sequence[float],
+                     strategy: Optional[str] = None) -> Dict[int, DeltaGraph]:
+    """One Δ-graph per (N_A, N_B) split — the full Fig 6 experiment.
+
+    ``base_a``/``base_b`` supply everything but the core counts.
+    """
+    graphs: Dict[int, DeltaGraph] = {}
+    for na, nb in split_pairs(total_cores, sizes_b):
+        cfg_a = replace(base_a, nprocs=na)
+        cfg_b = replace(base_b, nprocs=nb)
+        graphs[nb] = run_delta_graph(platform_cfg, cfg_a, cfg_b, dts,
+                                     strategy=strategy)
+    return graphs
+
+
+def strategy_comparison(platform_cfg: PlatformConfig, cfg_a: IORConfig,
+                        cfg_b: IORConfig, dt: float,
+                        strategies: Sequence[Optional[str]] = (
+                            None, "fcfs", "interrupt", "dynamic",
+                        )) -> Dict[Optional[str], PairResult]:
+    """The same pair under each coordination strategy (Fig 9/11 columns)."""
+    return {
+        s: run_pair(platform_cfg, cfg_a, cfg_b, dt=dt, strategy=s)
+        for s in strategies
+    }

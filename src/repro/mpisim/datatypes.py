@@ -1,0 +1,81 @@
+"""File access patterns, in the vocabulary of IOR and MPI file views.
+
+The paper's benchmark controls "contiguous or strided [patterns] with a
+specified number of blocks and block sizes, in a way similar to IOR".  A
+pattern here describes each process's view of the shared file:
+
+* :class:`Contiguous` — process ``r`` writes one block of ``block_size``
+  bytes at offset ``r * block_size`` (IOR's segmented layout).
+* :class:`Strided` — process ``r`` writes ``nblocks`` blocks of
+  ``block_size``, block ``k`` at offset ``(k * nprocs + r) * block_size``
+  (interleaved, triggering collective buffering in ROMIO and here).
+
+Patterns are pure descriptions; the ADIO layer turns them into transfer
+plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessPattern", "Contiguous", "Strided"]
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Base class: how much each process writes and how it interleaves."""
+
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {self.block_size}")
+
+    @property
+    def bytes_per_process(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_strided(self) -> bool:
+        raise NotImplementedError
+
+    def total_bytes(self, nprocs: int) -> int:
+        """Aggregate file bytes written by ``nprocs`` processes."""
+        return nprocs * self.bytes_per_process
+
+
+@dataclass(frozen=True)
+class Contiguous(AccessPattern):
+    """Each process writes one contiguous block (rank-ordered segments)."""
+
+    @property
+    def bytes_per_process(self) -> int:
+        return self.block_size
+
+    @property
+    def is_strided(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Strided(AccessPattern):
+    """Each process writes ``nblocks`` interleaved blocks of ``block_size``.
+
+    E.g. the paper's Fig 6 workload is ``Strided(block_size=2 MB,
+    nblocks=8)`` — "16 MB (8 strides of 2 MB) per process".
+    """
+
+    nblocks: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nblocks <= 0:
+            raise ValueError(f"nblocks must be > 0, got {self.nblocks}")
+
+    @property
+    def bytes_per_process(self) -> int:
+        return self.block_size * self.nblocks
+
+    @property
+    def is_strided(self) -> bool:
+        return True

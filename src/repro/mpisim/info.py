@@ -1,0 +1,78 @@
+"""MPI_Info-like key/value store.
+
+The paper's ``Prepare(MPI_Info info)`` call ships knowledge about upcoming
+I/O as (key, value) pairs "in order to be generic".  We mirror that: a thin
+string-keyed mapping with typed accessors, so CALCioM strategies consume the
+same vocabulary the paper lists (number of files, rounds of collective
+buffering, bytes per round, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["MPIInfo"]
+
+
+class MPIInfo:
+    """A small, ordered, string-keyed info object (mutable mapping subset)."""
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None, **kwargs: Any):
+        self._data: Dict[str, Any] = {}
+        if initial:
+            self._data.update(initial)
+        self._data.update(kwargs)
+
+    def set(self, key: str, value: Any) -> "MPIInfo":
+        """Set a key; returns self for chaining."""
+        if not isinstance(key, str):
+            raise TypeError(f"info keys must be str, got {type(key).__name__}")
+        self._data[key] = value
+        return self
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def get_float(self, key: str, default: float = 0.0) -> float:
+        """Fetch a key coerced to float (for sizes, times, counts)."""
+        value = self._data.get(key)
+        return default if value is None else float(value)
+
+    def get_int(self, key: str, default: int = 0) -> int:
+        value = self._data.get(key)
+        return default if value is None else int(value)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.set(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def items(self):
+        return self._data.items()
+
+    def copy(self) -> "MPIInfo":
+        return MPIInfo(dict(self._data))
+
+    def merged(self, other: "MPIInfo") -> "MPIInfo":
+        """A new info with ``other``'s keys overriding this one's."""
+        merged = self.copy()
+        for k, v in other.items():
+            merged.set(k, v)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._data.items())
+        return f"MPIInfo({inner})"

@@ -1,0 +1,85 @@
+"""MPI-IO file facade (MPI_File analogue) over the ADIO layer.
+
+Thin by design — the real decisions happen in :mod:`repro.mpisim.adio` —
+but it gives applications the familiar open/write_all/close surface and
+tracks per-file write offsets the way an MPI file handle's shared pointer
+would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simcore import SimulationError
+from .adio import ADIOLayer, WriteStats
+from .datatypes import AccessPattern, Contiguous
+
+__all__ = ["MPIIOFile"]
+
+
+class MPIIOFile:
+    """An open (simulated) MPI file handle for one application."""
+
+    def __init__(self, adio: ADIOLayer, path: str):
+        self.adio = adio
+        self.path = path
+        self.offset = 0
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SimulationError(f"I/O on closed file {self.path!r}")
+
+    def write_all(self, pattern: AccessPattern,
+                  grain: Optional[str] = "round"):
+        """Collective write at the current shared offset.  Generator.
+
+        Returns :class:`~repro.mpisim.adio.WriteStats`; advances the offset.
+        """
+        self._check_open()
+        stats = yield from self.adio.write_collective(
+            self.path, pattern, grain=grain, base_offset=self.offset
+        )
+        self.offset += stats.bytes
+        return stats
+
+    def write_at_all(self, offset: int, pattern: AccessPattern,
+                     grain: Optional[str] = "round"):
+        """Collective write at an explicit offset (does not move the pointer)."""
+        self._check_open()
+        return (yield from self.adio.write_collective(
+            self.path, pattern, grain=grain, base_offset=offset
+        ))
+
+    def write(self, nbytes: int, guarded: bool = True):
+        """Independent contiguous write at the current offset.  Generator."""
+        self._check_open()
+        stats = yield from self.adio.write_independent(
+            self.path, nbytes, offset=self.offset, guarded=guarded
+        )
+        self.offset += nbytes
+        return stats
+
+    def read_all(self, pattern: AccessPattern,
+                 grain: Optional[str] = "round"):
+        """Collective read at the current shared offset.  Generator."""
+        self._check_open()
+        stats = yield from self.adio.read_collective(
+            self.path, pattern, grain=grain, base_offset=self.offset
+        )
+        self.offset += stats.bytes
+        return stats
+
+    def sync(self):
+        """Barrier-equivalent flush; fluid writes land synchronously, so
+        this only costs a collective."""
+        self._check_open()
+        yield self.adio.comm.barrier()
+
+    def close(self) -> None:
+        """Invalidate the handle."""
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"offset={self.offset}"
+        return f"<MPIIOFile {self.path!r} {state}>"

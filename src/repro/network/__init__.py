@@ -1,0 +1,6 @@
+"""Interconnect substrate: topologies, fluid transfers, link monitoring."""
+
+from .monitoring import LinkMonitor
+from .topology import Fabric
+
+__all__ = ["Fabric", "LinkMonitor"]

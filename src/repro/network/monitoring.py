@@ -1,0 +1,66 @@
+"""Per-link utilization recording.
+
+Attaches to the flow network's observer hook and records every watched
+link's aggregate rate as a step-function :class:`TimeSeries` — the raw
+material for Fig 3-style throughput plots, server-utilization studies, and
+experiment debugging ("who was on the wire when B stalled?").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..simcore import FluidLink, FlowNetwork, Simulator, TimeSeries
+
+__all__ = ["LinkMonitor"]
+
+
+class LinkMonitor:
+    """Records the aggregate rate of selected links at every reallocation.
+
+    Parameters
+    ----------
+    sim, net:
+        Kernel objects.
+    links:
+        The links to watch.  More can be added later with :meth:`watch`.
+
+    Samples are taken whenever the allocator reassigns rates, so the series
+    is exact (piecewise-constant between samples), not polled.
+    """
+
+    def __init__(self, sim: Simulator, net: FlowNetwork,
+                 links: Iterable[FluidLink] = ()):
+        self.sim = sim
+        self.net = net
+        self.series: Dict[FluidLink, TimeSeries] = {}
+        for link in links:
+            self.watch(link)
+        net.add_observer(self._sample)
+
+    def watch(self, link: FluidLink) -> TimeSeries:
+        """Start recording ``link``; returns its series."""
+        if link not in self.series:
+            ts = TimeSeries(name=link.name)
+            ts.record(self.sim.now, 0.0)
+            self.series[link] = ts
+        return self.series[link]
+
+    def _sample(self, time: float, flows) -> None:
+        for link, ts in self.series.items():
+            ts.record(time, self.net.link_rate(link))
+
+    # -- queries -----------------------------------------------------------
+    def utilization(self, link: FluidLink, t0: float, t1: float) -> float:
+        """Mean fraction of ``link``'s capacity used over [t0, t1]."""
+        ts = self.series[link]
+        return ts.time_average(t0, t1) / link.capacity
+
+    def bytes_through(self, link: FluidLink, t0: float, t1: float) -> float:
+        """∫ rate dt — bytes carried by ``link`` over the window."""
+        return self.series[link].integral(t0, t1)
+
+    def peak_rate(self, link: FluidLink) -> float:
+        """Highest recorded aggregate rate."""
+        values = self.series[link].values
+        return float(values.max()) if len(values) else 0.0

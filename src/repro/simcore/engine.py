@@ -1,0 +1,172 @@
+"""The simulation engine: a time-ordered event queue and its driver loop.
+
+:class:`Simulator` owns the clock and the heap of scheduled events.  All
+model components (network flows, storage servers, applications, CALCioM
+coordinators) hang off one simulator instance, which makes every experiment
+fully deterministic and repeatable — a property the paper's authors had to
+approximate by reserving entire machines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from .errors import SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> p = sim.process(hello(sim))
+    >>> sim.run()
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when every event in ``events`` has triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any event in ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulated time ``when``.
+
+        Returns the underlying event (can be inspected but not cancelled;
+        use a generation counter in ``fn`` if cancellation is needed).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})"
+            )
+        ev = Event(self)
+        ev._ok = True
+        ev._value = None
+        self._schedule(ev, when - self._now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- execution ----------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("step() on an empty event queue") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # A failure nobody handled: abort the run loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue empties.
+            a number — run until that simulated time (clock ends exactly there).
+            an :class:`Event` — run until that event is processed; returns its
+            value (raising its exception if it failed).
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event = None
+        elif isinstance(until, Event):
+            stop_at = float("inf")
+            stop_event = until
+
+            def _stop(ev: Event) -> None:
+                raise StopSimulation(ev)
+
+            if until.processed:
+                if not until._ok:
+                    until.defuse()
+                    raise until._value
+                return until._value
+            until.callbacks.append(_stop)
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"run(until={stop_at}) is in the past (now={self._now})"
+                )
+            stop_event = None
+
+        try:
+            while self._queue and self.peek() <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            ev = stop.value
+            if not ev._ok:
+                ev.defuse()
+                raise ev._value from None
+            return ev._value
+        if stop_event is not None:
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event triggered"
+            )
+        if until is not None and not isinstance(until, Event):
+            self._now = stop_at
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6g} queued={len(self._queue)}>"

@@ -1,0 +1,237 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence at a point in simulated time.
+Processes (generators) ``yield`` events to suspend until they trigger; the
+event's *value* (or exception) is delivered back into the generator.
+
+The design follows SimPy's proven model — events carry callbacks, succeed or
+fail exactly once, and failures must be "defused" by a waiter or they abort
+the simulation — but is implemented from scratch and trimmed to what the
+CALCioM reproduction needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from .errors import SimulationError
+
+__all__ = ["PENDING", "Event", "Timeout", "Condition", "AllOf", "AnyOf"]
+
+
+class _Pending:
+    """Sentinel for 'event has not triggered yet'."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events move through three states:
+
+    1. *pending* — created, not yet scheduled;
+    2. *triggered* — :meth:`succeed`/:meth:`fail` called, sitting in the
+       event queue;
+    3. *processed* — popped from the queue, callbacks executed.
+
+    Attributes
+    ----------
+    callbacks:
+        List of ``fn(event)`` called when the event is processed.  ``None``
+        once processed (appending afterwards is an error).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel won't re-raise it."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        ``delay`` schedules processing that many simulated seconds in the
+        future (callbacks of an event always run via the event queue, never
+        synchronously).
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiters receive the exception thrown into them; if no waiter defuses
+        it the simulation run aborts with the exception.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(
+                f"fail() needs an exception instance, got {exception!r}"
+            )
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (processed) event.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    # -- composition -------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """Event that triggers after a fixed delay.
+
+    Created via :meth:`Simulator.timeout`; triggers with ``value``.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay} at {hex(id(self))}>"
+
+
+class Condition(Event):
+    """Event that triggers when ``evaluate(events, n_done)`` returns True.
+
+    The condition's value is a dict mapping each *triggered* constituent
+    event to its value, in constituent order.  A failing constituent fails
+    the whole condition immediately.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(self, sim, evaluate: Callable[[list, int], bool],
+                 events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        if self._evaluate(self._events, 0) and not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        # An empty event list with a satisfiable predicate (AllOf([])) is
+        # handled above; AnyOf([]) can never trigger, matching SimPy.
+
+    def _collect_values(self) -> dict:
+        # Only *processed* events count: a Timeout is "triggered" from birth
+        # (its value is fixed at creation) but has not yet occurred.
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @property
+    def events(self) -> tuple:
+        return tuple(self._events)
+
+
+class AllOf(Condition):
+    """Triggers once *all* constituent events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events: Iterable[Event]):
+        super().__init__(sim, lambda evs, n: n >= len(evs), events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* constituent event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events: Iterable[Event]):
+        super().__init__(sim, lambda evs, n: n >= 1, events)

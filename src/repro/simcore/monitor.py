@@ -1,0 +1,83 @@
+"""Time-series recording for simulation observables.
+
+Experiments sample quantities like per-link throughput or cache dirtiness;
+:class:`TimeSeries` accumulates ``(time, value)`` pairs and offers the
+integrals/averages the paper's metrics need (e.g. time-weighted means for
+Fig 1b's concurrency distribution).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` series with step-function semantics.
+
+    The recorded value is assumed to hold from its timestamp until the next
+    sample (right-open step function), which matches how fluid rates and
+    queue lengths evolve in the simulator.
+    """
+
+    def __init__(self, name: str = "series"):
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; time must be non-decreasing."""
+        if self._t and time < self._t[-1]:
+            raise ValueError(
+                f"non-monotonic sample at t={time} (last was {self._t[-1]})"
+            )
+        if self._t and time == self._t[-1]:
+            self._v[-1] = value  # same-instant update supersedes
+            return
+        self._t.append(time)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v, dtype=float)
+
+    def value_at(self, time: float) -> float:
+        """Step-function value at ``time`` (error before the first sample)."""
+        idx = int(np.searchsorted(self.times, time, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self._v[idx]
+
+    def integral(self, t0: float, t1: float) -> float:
+        """∫ value dt over [t0, t1] under step-function semantics."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if t1 == t0 or not self._t:
+            return 0.0
+        t = self.times
+        v = self.values
+        edges = np.concatenate([[t0], t[(t > t0) & (t < t1)], [t1]])
+        # Value on each sub-interval is the step value at its left edge.
+        idx = np.searchsorted(t, edges[:-1], side="right") - 1
+        vals = np.where(idx >= 0, v[np.clip(idx, 0, None)], 0.0)
+        return float(np.sum(vals * np.diff(edges)))
+
+    def time_average(self, t0: float, t1: float) -> float:
+        """Time-weighted mean of the series over [t0, t1]."""
+        if t1 <= t0:
+            raise ValueError("t1 must be > t0")
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def samples(self) -> Sequence[Tuple[float, float]]:
+        """The raw (time, value) pairs."""
+        return list(zip(self._t, self._v))

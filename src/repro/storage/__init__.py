@@ -1,0 +1,19 @@
+"""Parallel file system substrate: servers, striping, caching, scheduling."""
+
+from .cache import WriteBackCache
+from .disk import Disk
+from .pfs import FileMeta, ParallelFileSystem
+from .requests import IORequest
+from .scheduler import (
+    AppSerialScheduler, FIFOServerScheduler, ServerScheduler, SharedScheduler,
+    make_scheduler,
+)
+from .server import StorageServer
+from .striping import StripeLayout
+
+__all__ = [
+    "Disk", "WriteBackCache", "StorageServer", "ParallelFileSystem",
+    "FileMeta", "IORequest", "StripeLayout",
+    "ServerScheduler", "SharedScheduler", "FIFOServerScheduler",
+    "AppSerialScheduler", "make_scheduler",
+]

@@ -1,0 +1,164 @@
+"""Write-back page cache at a storage server, as a fluid integrator.
+
+The paper's Figure 3 shows the backend kernel cache making periodic writers
+see far more than disk bandwidth — until two applications collide, the cache
+fills, and both collapse to disk speed.  This module reproduces exactly that
+mechanism:
+
+* the server's ingest pipe admits bytes at ``cache_bandwidth`` while the
+  dirty-page pool has room;
+* dirty pages drain to disk continuously at the disk's effective rate;
+* when dirty bytes reach ``capacity`` the ingest pipe is throttled to the
+  drain rate (writers now run at disk speed);
+* once the pool drains back to ``low_watermark`` the fast path reopens.
+
+Dirty volume is integrated piecewise between allocation changes, so the
+model costs one observer callback per rate change, not per byte.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..simcore import FluidLink, FlowNetwork, Simulator, TimeSeries
+
+__all__ = ["WriteBackCache"]
+
+#: Tolerance (bytes) for boundary comparisons of the dirty integrator.
+_EPS = 1e-6
+
+
+class WriteBackCache:
+    """Fluid dirty-page integrator controlling a server ingest link.
+
+    Parameters
+    ----------
+    sim, net:
+        Simulator and flow network (observed for rate changes).
+    ingest_link:
+        The server's ingest pipe; this object owns its capacity.
+    cache_bandwidth:
+        Memory-speed admission rate while the pool has room, B/s.
+    drain_bandwidth:
+        Rate at which dirty bytes retire to disk, B/s.
+    capacity:
+        Dirty-pool size in bytes.
+    low_watermark:
+        Dirty level at which a throttled pipe reopens (defaults to half the
+        pool, echoing Linux's dirty_background behaviour).
+    record:
+        If True, keeps a :class:`TimeSeries` of dirty volume in
+        :attr:`dirty_series` for experiment plots.
+    """
+
+    def __init__(self, sim: Simulator, net: FlowNetwork, ingest_link: FluidLink,
+                 cache_bandwidth: float, drain_bandwidth: float, capacity: float,
+                 low_watermark: Optional[float] = None, record: bool = False):
+        if cache_bandwidth <= drain_bandwidth:
+            raise ValueError(
+                "cache_bandwidth must exceed drain_bandwidth for the cache "
+                f"to matter (got {cache_bandwidth} <= {drain_bandwidth})"
+            )
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.sim = sim
+        self.net = net
+        self.link = ingest_link
+        self.cache_bandwidth = float(cache_bandwidth)
+        self.drain_bandwidth = float(drain_bandwidth)
+        self.capacity = float(capacity)
+        self.low_watermark = (
+            capacity / 2.0 if low_watermark is None else float(low_watermark)
+        )
+        if not (0 <= self.low_watermark < self.capacity):
+            raise ValueError("low_watermark must lie in [0, capacity)")
+        self.dirty = 0.0
+        self.throttled = False
+        self._last_time = sim.now
+        self._inflow = 0.0
+        self._gen = 0
+        self.dirty_series: Optional[TimeSeries] = (
+            TimeSeries("dirty_bytes") if record else None
+        )
+        ingest_link.set_capacity(self.cache_bandwidth)
+        net.add_observer(self._on_rates_changed)
+
+    # -- integration -------------------------------------------------------
+    def _advance(self) -> None:
+        """Integrate dirty volume from the last checkpoint to now."""
+        now = self.sim.now
+        dt = now - self._last_time
+        if dt > 0:
+            net_rate = self._inflow - self.drain_bandwidth
+            if net_rate >= 0:
+                self.dirty = min(self.capacity, self.dirty + net_rate * dt)
+            else:
+                self.dirty = max(0.0, self.dirty + net_rate * dt)
+            self._last_time = now
+            if self.dirty_series is not None:
+                self.dirty_series.record(now, self.dirty)
+        elif dt == 0 and self.dirty_series is not None and len(self.dirty_series) == 0:
+            self.dirty_series.record(now, self.dirty)
+
+    def _on_rates_changed(self, time: float, flows) -> None:
+        self._advance()
+        self._inflow = self.net.link_rate(self.link)
+        self._apply_mode()
+        self._schedule_boundary()
+
+    def _apply_mode(self) -> None:
+        """Throttle or reopen the ingest pipe based on dirty level."""
+        if not self.throttled and self.dirty >= self.capacity - _EPS:
+            self.throttled = True
+            self.link.set_capacity(self.drain_bandwidth)
+        elif self.throttled and self.dirty <= self.low_watermark + _EPS:
+            self.throttled = False
+            self.link.set_capacity(self.cache_bandwidth)
+
+    def _schedule_boundary(self) -> None:
+        """Wake exactly when the dirty level will next cross a threshold."""
+        self._gen += 1
+        gen = self._gen
+        net_rate = self._inflow - self.drain_bandwidth
+        if net_rate > _EPS and not self.throttled:
+            target = self.capacity
+            horizon = (target - self.dirty) / net_rate
+        elif net_rate < -_EPS and self.dirty > 0:
+            target = self.low_watermark if self.throttled else 0.0
+            if self.dirty <= target + _EPS:
+                return
+            horizon = (self.dirty - target) / (-net_rate)
+        else:
+            return
+        if not math.isfinite(horizon) or horizon < 0:
+            return
+        now = self.sim.now
+        target = now + horizon
+        if target <= now:
+            # Below float resolution: nudge one ulp so the wake advances.
+            target = now + math.ulp(now if now > 0 else 1.0)
+
+        def _wake() -> None:
+            if gen != self._gen:
+                return
+            self._advance()
+            self._apply_mode()
+            self._schedule_boundary()
+
+        self.sim.call_at(target, _wake)
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def dirty_now(self) -> float:
+        """Current dirty volume, integrating up to the present instant."""
+        dt = self.sim.now - self._last_time
+        net_rate = self._inflow - self.drain_bandwidth
+        level = self.dirty + net_rate * dt
+        return float(min(self.capacity, max(0.0, level)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WriteBackCache dirty={self.dirty_now:.3g}/{self.capacity:.3g}B "
+            f"{'throttled' if self.throttled else 'fast'}>"
+        )

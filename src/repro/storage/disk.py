@@ -1,0 +1,45 @@
+"""Disk model: streaming bandwidth degraded by multi-stream seeking.
+
+Storage-server disks deliver near-peak bandwidth for one sequential stream
+and progressively less as unrelated request streams force head movement —
+the degradation server-side schedulers exist to avoid (paper §V-C).  We use
+the standard concave penalty
+
+    rate(n) = peak / (1 + seek_penalty * (n - 1))
+
+with ``seek_penalty = 0`` recovering an ideal (seek-free / SSD-like) device.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """A storage device's drain-side performance model.
+
+    Parameters
+    ----------
+    bandwidth:
+        Peak sequential bandwidth, bytes/s.
+    seek_penalty:
+        Fractional slowdown added per extra concurrent stream.  0.15 is a
+        reasonable spinning-disk figure; 0 disables the effect.
+    """
+
+    def __init__(self, bandwidth: float, seek_penalty: float = 0.0):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        if seek_penalty < 0:
+            raise ValueError(f"seek_penalty must be >= 0, got {seek_penalty}")
+        self.bandwidth = float(bandwidth)
+        self.seek_penalty = float(seek_penalty)
+
+    def effective_rate(self, nstreams: int) -> float:
+        """Aggregate bandwidth with ``nstreams`` concurrent request streams."""
+        if nstreams <= 1:
+            return self.bandwidth
+        return self.bandwidth / (1.0 + self.seek_penalty * (nstreams - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Disk(bandwidth={self.bandwidth:.4g}, seek_penalty={self.seek_penalty})"

@@ -1,0 +1,44 @@
+"""I/O request descriptors exchanged between clients and storage servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+__all__ = ["IORequest"]
+
+_request_ids = count()
+
+
+@dataclass
+class IORequest:
+    """One client-side I/O operation as seen by a storage server.
+
+    Requests are *application-level aggregates*: an application writing the
+    same amount from each of N processes to one server is one request of
+    ``weight=N``.  The fluid allocator treats that identically to N unit
+    requests, while keeping the simulated request count (and hence cost)
+    proportional to applications x servers instead of processes.
+    """
+
+    app: str                       #: application identifier
+    client: str                    #: fabric endpoint the bytes come from
+    path: str                      #: file path
+    offset: int                    #: byte offset within the file
+    size: float                    #: bytes to move
+    kind: str = "write"            #: "write" or "read"
+    weight: float = 1.0            #: max-min weight (typically #processes)
+    cap: Optional[float] = None    #: per-request rate ceiling, B/s
+    submitted: float = 0.0         #: simulation time of submission
+    rid: int = field(default_factory=lambda: next(_request_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise ValueError(f"kind must be 'write' or 'read', got {self.kind!r}")
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")

@@ -1,0 +1,143 @@
+"""Server-side request admission policies.
+
+The paper's §I and §V-C discuss what a parallel file system can do on its
+own: service interleaved requests as they come (which fluidly approximates
+fair sharing of bandwidth), or try to service one source at a time.  These
+policies are the *baseline* CALCioM is compared against — they act on raw
+requests with no knowledge of application constraints.
+
+* :class:`SharedScheduler` — every request's flow starts immediately; the
+  max-min allocator shares bandwidth in proportion to request weights.
+  This models interleaved FIFO servicing of many small requests.
+* :class:`FIFOServerScheduler` — strict one-request-at-a-time service.  At
+  application-aggregate granularity this serializes whole application
+  accesses at each server independently (no cross-server agreement).
+* :class:`AppSerialScheduler` — services all queued requests of one
+  application together before moving to the next application, emulating the
+  "service applications one at a time" goal of server-side schedulers like
+  Qian et al.'s network request scheduler.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Tuple
+
+from ..simcore import Event, Simulator, Store
+from .requests import IORequest
+
+__all__ = [
+    "ServerScheduler", "SharedScheduler", "FIFOServerScheduler",
+    "AppSerialScheduler", "make_scheduler",
+]
+
+#: signature of the launch function a server provides to its scheduler
+LaunchFn = Callable[[IORequest], Event]
+
+
+class ServerScheduler(ABC):
+    """Base class: decides *when* each submitted request's flow starts."""
+
+    def __init__(self) -> None:
+        self.sim: Optional[Simulator] = None
+        self._launch: Optional[LaunchFn] = None
+
+    def bind(self, sim: Simulator, launch: LaunchFn) -> None:
+        """Attach to a server; called once by :class:`StorageServer`."""
+        self.sim = sim
+        self._launch = launch
+
+    @abstractmethod
+    def submit(self, request: IORequest) -> Event:
+        """Accept a request; the returned event triggers when it completes."""
+
+
+class SharedScheduler(ServerScheduler):
+    """Start every request immediately — bandwidth is max-min shared."""
+
+    def submit(self, request: IORequest) -> Event:
+        return self._launch(request)
+
+
+class FIFOServerScheduler(ServerScheduler):
+    """Strictly serial service: one request runs at a time, arrival order."""
+
+    def bind(self, sim: Simulator, launch: LaunchFn) -> None:
+        super().bind(sim, launch)
+        self._queue = Store(sim, "fifo-queue")
+        sim.process(self._service_loop(), name="fifo-server")
+
+    def submit(self, request: IORequest) -> Event:
+        done = self.sim.event()
+        self._queue.put((request, done))
+        return done
+
+    def _service_loop(self):
+        while True:
+            request, done = yield self._queue.get()
+            try:
+                result = yield self._launch(request)
+            except Exception as exc:  # propagate per-request failures
+                done.fail(exc)
+                continue
+            done.succeed(result)
+
+
+class AppSerialScheduler(ServerScheduler):
+    """Serve one application's queued requests (concurrently) at a time."""
+
+    def bind(self, sim: Simulator, launch: LaunchFn) -> None:
+        super().bind(sim, launch)
+        self._pending: List[Tuple[IORequest, Event]] = []
+        self._signal: Optional[Event] = None
+        sim.process(self._service_loop(), name="app-serial-server")
+
+    def submit(self, request: IORequest) -> Event:
+        done = self.sim.event()
+        self._pending.append((request, done))
+        if self._signal is not None and not self._signal.triggered:
+            self._signal.succeed()
+        return done
+
+    def _service_loop(self):
+        while True:
+            if not self._pending:
+                self._signal = self.sim.event()
+                yield self._signal
+                self._signal = None
+            # Pick the application of the oldest request, take its whole batch.
+            app = self._pending[0][0].app
+            batch = [(r, d) for (r, d) in self._pending if r.app == app]
+            self._pending = [(r, d) for (r, d) in self._pending if r.app != app]
+            launched = [(self._launch(r), d) for r, d in batch]
+            for flow_done, done in launched:
+                try:
+                    result = yield flow_done
+                except Exception as exc:
+                    done.fail(exc)
+                    continue
+                done.succeed(result)
+
+
+_SCHEDULERS = {
+    "shared": SharedScheduler,
+    "fifo": FIFOServerScheduler,
+    "app-serial": AppSerialScheduler,
+}
+
+
+def make_scheduler(spec) -> ServerScheduler:
+    """Build a scheduler from a name ('shared', 'fifo', 'app-serial'),
+    a class, or pass an instance through."""
+    if isinstance(spec, ServerScheduler):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _SCHEDULERS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {spec!r}; choose from {sorted(_SCHEDULERS)}"
+            ) from None
+    if isinstance(spec, type) and issubclass(spec, ServerScheduler):
+        return spec()
+    raise TypeError(f"cannot build a scheduler from {spec!r}")

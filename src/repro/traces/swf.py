@@ -1,0 +1,133 @@
+"""Standard Workload Format (SWF) parsing and writing.
+
+The paper's Figure 1 is computed from ``ANL-Intrepid-2009-1.swf`` of the
+Parallel Workload Archive.  SWF is a line-oriented format: comment/header
+lines start with ``;``, data lines carry 18 whitespace-separated fields per
+job (Feitelson's standard).  We parse the fields the analyses need and
+carry the rest opaquely, and we can write traces back out — the synthetic
+generator emits SWF so the analysis code has a single input path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+__all__ = ["SWFJob", "SWFTrace", "parse_swf", "format_swf"]
+
+#: SWF field indices (0-based), per the standard.
+_FIELDS = 18
+
+
+@dataclass(frozen=True)
+class SWFJob:
+    """One job record (the subset of SWF fields the analyses use)."""
+
+    job_id: int
+    submit_time: float      #: seconds since trace start
+    wait_time: float        #: queueing delay, s (-1 if unknown)
+    run_time: float         #: execution time, s (-1 if unknown)
+    allocated_procs: int    #: processors actually allocated (-1 if unknown)
+    requested_procs: int = -1
+    requested_time: float = -1.0
+    status: int = -1
+    user_id: int = -1
+    group_id: int = -1
+
+    @property
+    def start_time(self) -> float:
+        """Dispatch time: submit + wait."""
+        return self.submit_time + max(0.0, self.wait_time)
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + max(0.0, self.run_time)
+
+    @property
+    def valid(self) -> bool:
+        """Usable for size/concurrency statistics."""
+        return self.allocated_procs > 0 and self.run_time > 0
+
+    def to_swf_line(self) -> str:
+        """This job as a standard 18-field SWF data line."""
+        fields = [-1] * _FIELDS
+        fields[0] = self.job_id
+        fields[1] = int(self.submit_time)
+        fields[2] = int(self.wait_time)
+        fields[3] = int(self.run_time)
+        fields[4] = self.allocated_procs
+        fields[7] = self.requested_procs
+        fields[8] = int(self.requested_time)
+        fields[10] = self.status
+        fields[11] = self.user_id
+        fields[12] = self.group_id
+        return " ".join(str(f) for f in fields)
+
+
+class SWFTrace:
+    """A parsed workload trace: header comments plus job records."""
+
+    def __init__(self, jobs: Sequence[SWFJob], header: Optional[List[str]] = None):
+        self.jobs = list(jobs)
+        self.header = list(header or [])
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[SWFJob]:
+        return iter(self.jobs)
+
+    def valid_jobs(self) -> List[SWFJob]:
+        """Jobs usable for statistics (positive size and runtime)."""
+        return [j for j in self.jobs if j.valid]
+
+    @property
+    def makespan(self) -> float:
+        """Span from first submit to last completion, seconds."""
+        jobs = self.valid_jobs()
+        if not jobs:
+            return 0.0
+        return max(j.end_time for j in jobs) - min(j.submit_time for j in jobs)
+
+
+def parse_swf(source: Union[str, Iterable[str]]) -> SWFTrace:
+    """Parse SWF text (a string with newlines, or an iterable of lines)."""
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    header: List[str] = []
+    jobs: List[SWFJob] = []
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            header.append(line)
+            continue
+        parts = line.split()
+        if len(parts) < 5:
+            raise ValueError(f"malformed SWF line (need >= 5 fields): {raw!r}")
+        def fld(i: int, default: float = -1.0) -> float:
+            return float(parts[i]) if i < len(parts) else default
+        jobs.append(SWFJob(
+            job_id=int(fld(0)),
+            submit_time=fld(1),
+            wait_time=fld(2),
+            run_time=fld(3),
+            allocated_procs=int(fld(4)),
+            requested_procs=int(fld(7)),
+            requested_time=fld(8),
+            status=int(fld(10)),
+            user_id=int(fld(11)),
+            group_id=int(fld(12)),
+        ))
+    return SWFTrace(jobs, header)
+
+
+def format_swf(trace: SWFTrace) -> str:
+    """Serialize a trace to SWF text."""
+    out: List[str] = []
+    out.extend(trace.header)
+    out.extend(job.to_swf_line() for job in trace.jobs)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,176 @@
+"""Synthetic Intrepid-2009-like workload generation.
+
+The actual ``ANL-Intrepid-2009-1.swf`` (8 months of Intrepid's Cobalt
+scheduler logs, Jan-Sep 2009) cannot be redistributed here, so we generate
+a statistically matched stand-in:
+
+* **Job sizes** are powers of two from 256 to 131072 cores (Intrepid
+  allocates full partitions), with marginals fitted to the paper's Fig 1a —
+  in particular its headline: *half the jobs run on <= 2048 cores*, and the
+  same holds when weighting jobs by duration.
+* **Runtimes** are lognormal (the classic Feitelson shape), mildly
+  correlated with size.
+* **Arrivals** are Poisson at a rate fitted so that a capacity-constrained
+  backfilling dispatch yields the Fig 1b concurrency distribution (bulk of
+  machine time spent with ~5-20 simultaneous jobs, time-averaged mean near
+  the value that makes the paper's 64%% interference probability come out).
+
+Dispatch is a space-sharing simulation of the 163840-core machine in the
+aggressive-backfill limit: a job starts as soon as enough cores are free.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..simcore.rng import ensure_rng
+from .swf import SWFJob, SWFTrace
+
+__all__ = ["IntrepidModel", "generate_intrepid_like"]
+
+#: Intrepid's size: 40 racks x 4096 cores.
+INTREPID_CORES = 163840
+
+#: (cores, probability) fitted to the paper's Fig 1a histogram.  CDF at
+#: 2048 cores = 0.52 — "half the jobs on <= 2048 cores".
+_SIZE_DISTRIBUTION: Tuple[Tuple[int, float], ...] = (
+    (256, 0.11),
+    (512, 0.14),
+    (1024, 0.12),
+    (2048, 0.15),
+    (4096, 0.21),
+    (8192, 0.13),
+    (16384, 0.09),
+    (32768, 0.03),
+    (65536, 0.015),
+    (131072, 0.005),
+)
+
+
+@dataclass(frozen=True)
+class IntrepidModel:
+    """Tunable parameters of the synthetic workload."""
+
+    machine_cores: int = INTREPID_CORES
+    duration_days: float = 240.0          #: ~8 months
+    jobs_per_hour: float = 14.0           #: ~80k jobs over the span
+    runtime_median_s: float = 2400.0      #: median job runtime
+    runtime_sigma: float = 1.1            #: lognormal shape
+    size_runtime_coupling: float = 0.05   #: larger jobs run slightly longer
+
+    @property
+    def njobs_expected(self) -> float:
+        return self.jobs_per_hour * 24 * self.duration_days
+
+
+def _sample_sizes(rng: np.random.Generator, n: int) -> np.ndarray:
+    sizes = np.array([s for s, _ in _SIZE_DISTRIBUTION])
+    probs = np.array([p for _, p in _SIZE_DISTRIBUTION])
+    probs = probs / probs.sum()
+    return rng.choice(sizes, size=n, p=probs)
+
+
+def _sample_runtimes(rng: np.random.Generator, sizes: np.ndarray,
+                     model: IntrepidModel) -> np.ndarray:
+    mu = np.log(model.runtime_median_s)
+    coupling = model.size_runtime_coupling * np.log2(
+        sizes / sizes.min()
+    )
+    raw = rng.lognormal(mean=0.0, sigma=model.runtime_sigma, size=len(sizes))
+    return np.maximum(60.0, np.exp(mu + coupling) * raw)
+
+
+def _dispatch(submit: np.ndarray, sizes: np.ndarray,
+              runtimes: np.ndarray, capacity: int) -> np.ndarray:
+    """Start times under first-fit backfilling on a ``capacity``-core machine.
+
+    An event-driven queue simulation: at every submission or completion,
+    scan the wait queue in order and start every job that currently fits
+    (first-fit backfill — the aggressive limit of Cobalt's scheduler).
+    Strict FCFS would let one 131072-core job drain the whole machine and
+    skew the Fig 1b concurrency distribution toward low counts in a way
+    the real trace does not show.  Decisions are made only at the current
+    instant (no future reservations), so the free-core ledger is exact.
+    """
+    import heapq
+
+    n = len(submit)
+    order = np.argsort(submit, kind="stable")
+    starts = np.empty_like(submit)
+    completions: List[Tuple[float, int]] = []  # heap of (end_time, cores)
+    queue: List[int] = []
+    free = int(capacity)
+    i = 0
+    while i < n or queue or completions:
+        next_submit = submit[order[i]] if i < n else math.inf
+        next_complete = completions[0][0] if completions else math.inf
+        if next_submit <= next_complete:
+            t = next_submit
+            queue.append(int(order[i]))
+            i += 1
+            # Batch all submissions at the same instant.
+            while i < n and submit[order[i]] == t:
+                queue.append(int(order[i]))
+                i += 1
+        else:
+            t, cores = heapq.heappop(completions)
+            free += cores
+            while completions and completions[0][0] == t:
+                free += heapq.heappop(completions)[1]
+        still_waiting: List[int] = []
+        for idx in queue:
+            need = int(sizes[idx])
+            if need <= free:
+                free -= need
+                starts[idx] = t
+                heapq.heappush(completions, (float(t + runtimes[idx]), need))
+            else:
+                still_waiting.append(idx)
+        queue = still_waiting
+    return starts
+
+
+def generate_intrepid_like(model: Optional[IntrepidModel] = None,
+                           seed: int = 2014,
+                           njobs: Optional[int] = None) -> SWFTrace:
+    """Generate the synthetic 8-month Intrepid-like SWF trace.
+
+    ``njobs`` overrides the job count (useful for fast tests); the default
+    draws a Poisson count matching the model's arrival rate.
+    """
+    model = model or IntrepidModel()
+    rng = ensure_rng(seed)
+    span = model.duration_days * 86400.0
+    if njobs is None:
+        njobs = int(rng.poisson(model.njobs_expected))
+    # SWF carries integer seconds; integral times also keep the dispatch
+    # ledger exact under the submit/wait/runtime decomposition of SWFJob.
+    submit = np.sort(np.round(rng.uniform(0.0, span, size=njobs)))
+    sizes = _sample_sizes(rng, njobs)
+    runtimes = np.round(_sample_runtimes(rng, sizes, model))
+    starts = _dispatch(submit, sizes, runtimes, model.machine_cores)
+    jobs = [
+        SWFJob(
+            job_id=i + 1,
+            submit_time=float(submit[i]),
+            wait_time=float(starts[i] - submit[i]),
+            run_time=float(runtimes[i]),
+            allocated_procs=int(sizes[i]),
+            requested_procs=int(sizes[i]),
+            requested_time=float(runtimes[i] * 1.5),
+            status=1,
+        )
+        for i in range(njobs)
+    ]
+    header = [
+        "; Synthetic Intrepid-2009-like trace (CALCioM reproduction)",
+        f"; MaxProcs: {model.machine_cores}",
+        f"; UnixStartTime: 0",
+        f"; Jobs: {njobs}",
+    ]
+    return SWFTrace(jobs, header)

@@ -1,0 +1,74 @@
+"""Unit tests for efficiency metrics and access descriptors."""
+
+import pytest
+
+from repro.core import (
+    AccessDescriptor, CpuSecondsWasted, MaxSlowdown, SumInterferenceFactors,
+    TotalIOTime, make_metric,
+)
+
+
+def descriptors():
+    return {
+        "big": AccessDescriptor(app="big", nprocs=2048, total_bytes=1e9,
+                                t_alone=10.0),
+        "small": AccessDescriptor(app="small", nprocs=64, total_bytes=1e8,
+                                  t_alone=2.0),
+    }
+
+
+def test_descriptor_remaining_defaults_to_total():
+    d = AccessDescriptor(app="a", nprocs=1, total_bytes=100.0, t_alone=1.0)
+    assert d.remaining_bytes == 100.0
+
+
+def test_descriptor_remaining_t_scales_linearly():
+    d = AccessDescriptor(app="a", nprocs=1, total_bytes=100.0, t_alone=10.0)
+    d.remaining_bytes = 25.0
+    assert d.remaining_t == pytest.approx(2.5)
+
+
+def test_descriptor_remaining_t_zero_bytes():
+    d = AccessDescriptor(app="a", nprocs=1, total_bytes=0.0, t_alone=0.0)
+    assert d.remaining_t == 0.0
+
+
+def test_descriptor_copy_is_independent():
+    d = AccessDescriptor(app="a", nprocs=1, total_bytes=100.0, t_alone=1.0)
+    c = d.copy()
+    c.remaining_bytes = 1.0
+    assert d.remaining_bytes == 100.0
+
+
+def test_cpu_seconds_wasted_weights_by_size():
+    m = CpuSecondsWasted()
+    cost = m.cost({"big": 10.0, "small": 2.0}, descriptors())
+    assert cost == pytest.approx(2048 * 10.0 + 64 * 2.0)
+
+
+def test_sum_interference_factors_normalizes_by_alone():
+    m = SumInterferenceFactors()
+    cost = m.cost({"big": 20.0, "small": 2.0}, descriptors())
+    assert cost == pytest.approx(2.0 + 1.0)
+
+
+def test_max_slowdown_takes_worst():
+    m = MaxSlowdown()
+    cost = m.cost({"big": 10.0, "small": 28.0}, descriptors())
+    assert cost == pytest.approx(14.0)
+
+
+def test_total_io_time_is_size_blind():
+    m = TotalIOTime()
+    assert m.cost({"big": 10.0, "small": 2.0}, descriptors()) == 12.0
+
+
+def test_make_metric_from_name_class_instance():
+    assert isinstance(make_metric("cpu-seconds-wasted"), CpuSecondsWasted)
+    assert isinstance(make_metric(MaxSlowdown), MaxSlowdown)
+    inst = TotalIOTime()
+    assert make_metric(inst) is inst
+    with pytest.raises(ValueError):
+        make_metric("nope")
+    with pytest.raises(TypeError):
+        make_metric(42)

@@ -1,0 +1,145 @@
+"""Property-based tests: arbiter invariants under random schedules.
+
+The arbiter is a state machine driven by inform/release/complete calls from
+arbitrary interleavings of applications.  Whatever the strategy decides,
+some things must always hold:
+
+* FCFS never runs two applications at once, never preempts, and serves
+  informs in arrival order;
+* every application that informs is eventually authorized once earlier
+  accesses complete (no lost wakeups);
+* interrupt keeps at most one ACTIVE application and resumes preempted
+  ones before queued waiters;
+* state bookkeeping (queues vs state map) stays consistent throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessDescriptor, AccessState, Arbiter
+from repro.simcore import Simulator
+
+
+def desc(app, nprocs=8):
+    return AccessDescriptor(app=app, nprocs=nprocs, total_bytes=1e6,
+                            t_alone=5.0)
+
+
+APPS = ["a", "b", "c", "d"]
+
+#: A schedule is a list of (op, app) steps; informs for idle apps,
+#: completes for engaged ones (filtered during execution).
+schedule_strategy = st.lists(
+    st.tuples(st.sampled_from(["inform", "complete", "release"]),
+              st.sampled_from(APPS)),
+    min_size=1, max_size=40,
+)
+
+
+def _consistent(arb: Arbiter) -> None:
+    """Structural invariants that must hold after every step."""
+    for app in arb._waiting:
+        assert arb.state_of(app) is AccessState.WAITING
+    for app in arb._preempted:
+        assert arb.state_of(app) is AccessState.PREEMPTED
+    for app, state in arb._state.items():
+        if state is AccessState.WAITING:
+            assert app in arb._waiting
+        if state is AccessState.PREEMPTED:
+            assert app in arb._preempted
+        if state in (AccessState.ACTIVE, AccessState.WAITING,
+                     AccessState.PREEMPTED):
+            assert arb.descriptor_of(app) is not None
+
+
+def _run_schedule(strategy, schedule):
+    sim = Simulator()
+    arb = Arbiter(sim, strategy)
+    engaged = set()
+    informs = []
+    for op, app in schedule:
+        if op == "inform" and app not in engaged:
+            arb.on_inform(desc(app))
+            engaged.add(app)
+            informs.append(app)
+        elif op == "complete" and app in engaged:
+            arb.on_complete(app)
+            engaged.discard(app)
+        elif op == "release" and app in engaged:
+            arb.on_release(app, remaining_bytes=1.0)
+        sim.run()
+        _consistent(arb)
+    return sim, arb, engaged
+
+
+@settings(max_examples=150, deadline=None)
+@given(schedule_strategy)
+def test_fcfs_mutual_exclusion_and_order(schedule):
+    sim, arb, engaged = _run_schedule("fcfs", schedule)
+    active = [a for a in APPS if arb.state_of(a) is AccessState.ACTIVE]
+    assert len(active) <= 1
+    assert not arb._preempted  # FCFS never preempts
+    # Drain: completing everything engaged must leave the arbiter idle and
+    # authorize each next-in-line exactly once.
+    for _ in range(len(APPS) + 1):
+        active = [a for a in APPS if arb.is_authorized(a)]
+        if not active:
+            break
+        arb.on_complete(active[0])
+        engaged.discard(active[0])
+        sim.run()
+        _consistent(arb)
+    assert all(arb.state_of(a) is AccessState.IDLE for a in APPS)
+
+
+@settings(max_examples=150, deadline=None)
+@given(schedule_strategy)
+def test_interrupt_single_active_and_priority_resume(schedule):
+    sim, arb, engaged = _run_schedule("interrupt", schedule)
+    active = [a for a in APPS if arb.state_of(a) is AccessState.ACTIVE]
+    assert len(active) <= 1
+    # Drain and confirm preempted apps resume before queued waiters.
+    while True:
+        active = [a for a in APPS if arb.is_authorized(a)]
+        if not active:
+            break
+        preempted_before = list(arb._preempted)
+        waiting_before = list(arb._waiting)
+        arb.on_complete(active[0])
+        sim.run()
+        _consistent(arb)
+        if preempted_before:
+            assert arb.is_authorized(preempted_before[0])
+        elif waiting_before:
+            assert arb.is_authorized(waiting_before[0])
+    assert all(arb.state_of(a) is AccessState.IDLE for a in APPS)
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule_strategy)
+def test_interfere_everyone_always_authorized(schedule):
+    sim, arb, engaged = _run_schedule("interfere", schedule)
+    for app in engaged:
+        assert arb.is_authorized(app)
+    assert not arb._waiting and not arb._preempted
+
+
+@settings(max_examples=100, deadline=None)
+@given(schedule_strategy)
+def test_dynamic_no_lost_apps(schedule):
+    """Under the dynamic strategy every engaged app is in a live state and
+    the machine drains to idle."""
+    sim, arb, engaged = _run_schedule("dynamic", schedule)
+    for app in engaged:
+        assert arb.state_of(app) in (
+            AccessState.ACTIVE, AccessState.WAITING, AccessState.PREEMPTED)
+    for _ in range(3 * len(APPS) + 1):
+        active = [a for a in APPS if arb.is_authorized(a)]
+        if not active:
+            break
+        arb.on_complete(active[0])
+        engaged.discard(active[0])
+        sim.run()
+        _consistent(arb)
+    assert all(arb.state_of(a) is AccessState.IDLE for a in APPS)
+    assert not engaged

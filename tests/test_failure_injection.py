@@ -1,0 +1,144 @@
+"""Failure injection: withdrawn jobs, cancelled transfers, no deadlocks.
+
+A coordination layer's worst failure mode is wedging the machine: an
+application that dies while holding (or queued for) the file system must
+not strand everyone else.  These tests kill things at awkward moments and
+assert the system drains.
+"""
+
+import pytest
+
+from repro.apps import IORApp, IORConfig
+from repro.core import CalciomRuntime
+from repro.mpisim import Contiguous
+from repro.platforms import Platform, PlatformConfig
+from repro.simcore import SimulationError
+
+
+def tiny_cfg():
+    return PlatformConfig(name="fi", nservers=2, disk_bandwidth=100.0,
+                          per_core_bandwidth=10.0, stripe_size=100,
+                          latency=1e-6)
+
+
+def make_apps(platform, runtime, specs):
+    apps = []
+    for name, nprocs, start, block in specs:
+        cfg = IORConfig(name=name, nprocs=nprocs,
+                        pattern=Contiguous(block_size=block),
+                        start_time=start, grain="round", cb_buffer_size=500)
+        app = IORApp(platform, cfg)
+        session = runtime.session(name, app.client, nprocs, app.comm)
+        app.guard = session
+        app.adio.guard = session
+        apps.append(app)
+    return apps
+
+
+def test_holder_withdrawal_unblocks_waiters():
+    """A job that dies while ACTIVE releases the machine to the queue."""
+    platform = Platform(tiny_cfg())
+    runtime = CalciomRuntime(platform, strategy="fcfs")
+    a, b = make_apps(platform, runtime,
+                     [("a", 20, 0.0, 10_000), ("b", 20, 1.0, 500)])
+    a.start()
+    b.start()
+
+    def killer():
+        yield platform.sim.timeout(5.0)
+        # Simulate a crash of application a: the scheduler tells CALCioM.
+        runtime.end_job("a")
+        # Its in-flight I/O disappears with it.
+        for flow in platform.net.active_flows:
+            if flow.label == "a":
+                platform.net.cancel_flow(flow)
+        a.done.interrupt("killed")
+        a.done.defuse()  # nobody joins a crashed job
+
+    platform.sim.process(killer())
+    platform.sim.run()
+    # b completed despite a's crash (no deadlock) and reasonably fast.
+    assert len(b.phases) == 1
+    t_b_alone = 20 * 500 / 200.0
+    assert b.phases[0].duration < 6.0 + 3 * t_b_alone
+
+
+def test_waiter_withdrawal_keeps_queue_moving():
+    """A queued job that dies is skipped when its turn comes."""
+    platform = Platform(tiny_cfg())
+    runtime = CalciomRuntime(platform, strategy="fcfs")
+    a, b, c = make_apps(platform, runtime,
+                        [("a", 20, 0.0, 2000),
+                         ("b", 20, 0.5, 2000),
+                         ("c", 20, 1.0, 2000)])
+    a.start()
+    c.start()  # note: b never starts its I/O...
+
+    def kill_b():
+        yield platform.sim.timeout(0.6)
+        runtime.end_job("b")  # ...and leaves the machine entirely
+
+    platform.sim.process(kill_b())
+    platform.sim.run()
+    assert len(a.phases) == 1
+    assert len(c.phases) == 1
+
+
+def test_end_job_reuse_after_withdrawal():
+    platform = Platform(tiny_cfg())
+    runtime = CalciomRuntime(platform, strategy="fcfs")
+    platform.add_client("x", 4)
+    runtime.session("x", "x", 4)
+    runtime.end_job("x")
+    # The slot is free for a new job of the same name.
+    platform.add_client("x2", 4)
+    session = runtime.session("x", "x2", 4)
+    assert session.app == "x"
+
+
+def test_cancelled_transfer_fails_waiting_process():
+    """A cancelled flow surfaces as an exception to whoever awaits it."""
+    platform = Platform(tiny_cfg())
+    platform.add_client("app", 10)
+    outcome = {}
+
+    def writer():
+        try:
+            yield platform.pfs.write("app", "app", "/f", 0, 10_000, weight=10)
+            outcome["result"] = "completed"
+        except RuntimeError as exc:
+            outcome["result"] = f"failed: {exc}"
+
+    platform.sim.process(writer())
+
+    def canceller():
+        yield platform.sim.timeout(1.0)
+        for flow in platform.net.active_flows:
+            platform.net.cancel_flow(flow, RuntimeError("server died"))
+
+    platform.sim.process(canceller())
+    platform.sim.run()
+    assert outcome["result"] == "failed: server died"
+
+
+def test_interrupted_app_survives_interrupter_withdrawal():
+    """A preempted app resumes if the interrupter's job is withdrawn."""
+    platform = Platform(tiny_cfg())
+    runtime = CalciomRuntime(platform, strategy="interrupt")
+    a, b = make_apps(platform, runtime,
+                     [("a", 20, 0.0, 10_000), ("b", 20, 2.0, 10_000)])
+    a.start()
+    b.start()
+
+    def kill_b():
+        yield platform.sim.timeout(4.0)  # b has preempted a by now
+        runtime.end_job("b")
+        for flow in platform.net.active_flows:
+            if flow.label == "b":
+                platform.net.cancel_flow(flow)
+        b.done.interrupt("killed")
+        b.done.defuse()  # nobody joins a crashed job
+
+    platform.sim.process(kill_b())
+    platform.sim.run()
+    assert len(a.phases) == 1  # a finished after b vanished

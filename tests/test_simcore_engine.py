@@ -1,0 +1,341 @@
+"""Unit tests for the simulation engine, events, and processes."""
+
+import pytest
+
+from repro.simcore import (
+    AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    t = sim.timeout(2.5)
+    sim.run(until=t)
+    assert sim.now == 2.5
+
+
+def test_timeout_value_delivered():
+    sim = Simulator()
+    t = sim.timeout(1.0, value="payload")
+    assert sim.run(until=t) == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_sets_clock_exactly():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_events_process_in_time_order():
+    sim = Simulator()
+    seen = []
+    for d in [3.0, 1.0, 2.0]:
+        sim.timeout(d).callbacks.append(lambda ev, d=d: seen.append(d))
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_simultaneous_events_fifo_within_same_time():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.timeout(1.0).callbacks.append(lambda ev, i=i: seen.append(i))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1)
+        return 42
+
+    p = sim.process(body())
+    assert sim.run(until=p) == 42
+
+
+def test_process_sequences_multiple_timeouts():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1)
+        yield sim.timeout(2)
+        yield sim.timeout(3)
+        return sim.now
+
+    p = sim.process(body())
+    assert sim.run(until=p) == 6.0
+
+
+def test_process_does_not_run_synchronously():
+    sim = Simulator()
+    marker = []
+
+    def body():
+        marker.append("ran")
+        yield sim.timeout(0)
+
+    sim.process(body())
+    assert marker == []  # body only starts once the engine runs
+    sim.run()
+    assert marker == ["ran"]
+
+
+def test_process_exception_propagates_to_run():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    sim.process(body())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_waiting_process_receives_failure():
+    sim = Simulator()
+
+    def failing():
+        yield sim.timeout(1)
+        raise ValueError("inner")
+
+    def waiter():
+        try:
+            yield sim.process(failing())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(waiter())
+    assert sim.run(until=p) == "caught inner"
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def body():
+        yield 123
+
+    sim.process(body())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_event_succeed_once_only():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")
+
+
+def test_event_value_unavailable_before_trigger():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as i:
+            return ("interrupted", i.cause, sim.now)
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3)
+        p.interrupt(cause="urgent")
+
+    sim.process(interrupter())
+    assert sim.run(until=p) == ("interrupted", "urgent", 3.0)
+
+
+def test_interrupt_detaches_from_target():
+    """After an interrupt, the original timeout firing must not resume us twice."""
+    sim = Simulator()
+    resumed = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(5)
+            resumed.append("timeout")
+        except Interrupt:
+            resumed.append("interrupt")
+        yield sim.timeout(100)
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(1)
+        p.interrupt()
+
+    sim.process(interrupter())
+    sim.run(until=20)
+    assert resumed == ["interrupt"]
+
+
+def test_interrupt_terminated_process_rejected():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1)
+
+    p = sim.process(body())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    sim = Simulator()
+
+    def body():
+        with pytest.raises(SimulationError):
+            p.interrupt()
+        yield sim.timeout(1)
+
+    p = sim.process(body())
+    sim.run()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    t1, t2 = sim.timeout(1, "a"), sim.timeout(5, "b")
+
+    def body():
+        result = yield (t1 & t2)
+        return (sim.now, sorted(result.values()))
+
+    p = sim.process(body())
+    assert sim.run(until=p) == (5.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    t1, t2 = sim.timeout(1, "fast"), sim.timeout(5, "slow")
+
+    def body():
+        result = yield (t1 | t2)
+        return (sim.now, list(result.values()))
+
+    p = sim.process(body())
+    assert sim.run(until=p) == (1.0, ["fast"])
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+
+    def body():
+        result = yield AllOf(sim, [])
+        return result
+
+    p = sim.process(body())
+    assert sim.run(until=p) == {}
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+
+    def failing():
+        yield sim.timeout(1)
+        raise RuntimeError("cond-fail")
+
+    def body():
+        try:
+            yield AnyOf(sim, [sim.process(failing()), sim.timeout(10)])
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = sim.process(body())
+    assert sim.run(until=p) == "cond-fail"
+
+
+def test_call_at_runs_function_at_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+    sim.timeout(10)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_run_until_event_already_processed():
+    sim = Simulator()
+    t = sim.timeout(1, "x")
+    sim.run()
+    assert sim.run(until=t) == "x"
+
+
+def test_run_until_event_never_triggering_raises():
+    sim = Simulator()
+    ev = sim.event()
+    sim.timeout(1)
+    with pytest.raises(SimulationError, match="exhausted"):
+        sim.run(until=ev)
+
+
+def test_peek_on_empty_queue_is_inf():
+    assert Simulator().peek() == float("inf")
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Simulator().step()
+
+
+def test_nested_processes():
+    sim = Simulator()
+
+    def child(n):
+        yield sim.timeout(n)
+        return n * 2
+
+    def parent():
+        a = yield sim.process(child(1))
+        b = yield sim.process(child(2))
+        return a + b
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == 6
+    assert sim.now == 3.0

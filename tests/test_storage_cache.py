@@ -1,0 +1,126 @@
+"""Unit tests for the write-back cache fluid integrator."""
+
+import pytest
+
+from repro.simcore import FluidLink, FlowNetwork, Simulator
+from repro.storage import WriteBackCache
+
+
+def make_cached_pipe(cache_bw=100.0, disk_bw=20.0, capacity=400.0,
+                     low_watermark=None):
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = FluidLink(cache_bw, "ingest")
+    cache = WriteBackCache(sim, net, link, cache_bandwidth=cache_bw,
+                           drain_bandwidth=disk_bw, capacity=capacity,
+                           low_watermark=low_watermark)
+    return sim, net, link, cache
+
+
+def test_small_write_runs_at_cache_speed():
+    sim, net, link, cache = make_cached_pipe()
+    flow = net.start_flow(300.0, [link])  # fits in the 400 B pool
+    sim.run(until=flow.done)
+    assert sim.now == pytest.approx(3.0)  # 300 B at 100 B/s
+    assert not cache.throttled
+
+
+def test_dirty_accumulates_at_net_rate():
+    sim, net, link, cache = make_cached_pipe()
+    net.start_flow(300.0, [link])
+    sim.run(until=2.0)
+    # 2 s of (100 in - 20 drain) = 160 dirty.
+    assert cache.dirty_now == pytest.approx(160.0)
+
+
+def test_large_write_throttles_to_disk_speed():
+    sim, net, link, cache = make_cached_pipe()
+    flow = net.start_flow(2000.0, [link])
+    sim.run(until=flow.done)
+    # Pool fills after 400/(100-20) = 5 s (500 B ingested);
+    # remaining 1500 B at disk speed 20 B/s = 75 s. Total 80 s.
+    assert sim.now == pytest.approx(80.0)
+    assert cache.throttled
+
+
+def test_idle_period_drains_pool():
+    sim, net, link, cache = make_cached_pipe()
+    f = net.start_flow(300.0, [link])
+    sim.run(until=f.done)           # t=3, dirty=240
+    sim.run(until=3.0 + 240.0 / 20.0 + 1.0)
+    assert cache.dirty_now == pytest.approx(0.0)
+
+
+def test_periodic_writer_sees_cache_speed_when_pool_drains():
+    """The Fig 3 'without interference' behaviour."""
+    sim, net, link, cache = make_cached_pipe(capacity=400.0)
+
+    times = []
+
+    def writer():
+        for _ in range(3):
+            t0 = sim.now
+            flow = net.start_flow(200.0, [link])
+            yield flow.done
+            times.append(sim.now - t0)
+            yield sim.timeout(15.0)  # 15 s drains 200 B at 20 B/s -> pool empty
+
+    sim.process(writer())
+    sim.run()
+    for t in times:
+        assert t == pytest.approx(2.0)  # always cache speed
+
+
+def test_colliding_writers_overflow_and_collapse():
+    """The Fig 3 'with interference' collapse."""
+    sim, net, link, cache = make_cached_pipe(capacity=400.0)
+    f1 = net.start_flow(400.0, [link])
+    f2 = net.start_flow(400.0, [link])
+    sim.run(until=f1.done)
+    # Joint 800 B >> pool: fills at t=400/(100-20)=5 s (each moved 250 B);
+    # the remaining 300 B drain at the 20 B/s disk rate -> 15 s more.
+    assert f1.finish_time == pytest.approx(20.0)
+    assert cache.throttled  # still full the instant the writes finish
+    sim.run()
+    assert f2.finish_time == pytest.approx(20.0)
+    assert not cache.throttled  # the idle pool has drained and reopened
+
+
+def test_throttle_reopens_at_low_watermark():
+    sim, net, link, cache = make_cached_pipe(capacity=400.0, low_watermark=100.0)
+    f = net.start_flow(600.0, [link])
+    sim.run(until=f.done)
+    assert cache.throttled
+    # Drain from 400 to 100 at 20 B/s = 15 s after the flow ends.
+    sim.run(until=sim.now + 15.5)
+    assert not cache.throttled
+    assert link.capacity == pytest.approx(100.0)
+
+
+def test_invalid_configuration_rejected():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = FluidLink(100.0)
+    with pytest.raises(ValueError):
+        WriteBackCache(sim, net, link, cache_bandwidth=10.0,
+                       drain_bandwidth=20.0, capacity=100.0)
+    with pytest.raises(ValueError):
+        WriteBackCache(sim, net, link, cache_bandwidth=100.0,
+                       drain_bandwidth=20.0, capacity=0.0)
+    with pytest.raises(ValueError):
+        WriteBackCache(sim, net, link, cache_bandwidth=100.0,
+                       drain_bandwidth=20.0, capacity=100.0,
+                       low_watermark=100.0)
+
+
+def test_dirty_series_recording():
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = FluidLink(100.0)
+    cache = WriteBackCache(sim, net, link, cache_bandwidth=100.0,
+                           drain_bandwidth=20.0, capacity=400.0, record=True)
+    f = net.start_flow(300.0, [link])
+    sim.run()
+    assert cache.dirty_series is not None
+    assert len(cache.dirty_series) >= 1
+    assert cache.dirty_series.values.max() <= 400.0

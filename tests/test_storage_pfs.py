@@ -1,0 +1,216 @@
+"""Integration tests: PFS + servers + schedulers + platform presets."""
+
+import pytest
+
+from repro.platforms import (
+    Platform, PlatformConfig, grid5000_nancy, grid5000_rennes, surveyor,
+)
+from repro.simcore import SimulationError
+from repro.storage import IORequest
+
+
+def tiny_platform(**overrides):
+    cfg = PlatformConfig(
+        name="tiny", nservers=2, disk_bandwidth=100.0,
+        per_core_bandwidth=10.0, stripe_size=10, latency=0.0,
+    )
+    return Platform(cfg.with_(**overrides) if overrides else cfg)
+
+
+def test_write_creates_file_and_tracks_size():
+    p = tiny_platform()
+    p.add_client("appA", nprocs=4)
+    done = p.pfs.write("appA", "appA", "/f", offset=0, nbytes=100, weight=4)
+    p.sim.run(until=done)
+    assert p.pfs.stat("/f").size == 100
+
+
+def test_write_time_bounded_by_client_uplink():
+    p = tiny_platform()
+    p.add_client("appA", nprocs=4)  # uplink 40 B/s < servers 200 B/s
+    done = p.pfs.write("appA", "appA", "/f", 0, 400, weight=4)
+    p.sim.run(until=done)
+    assert p.sim.now == pytest.approx(10.0)
+
+
+def test_write_time_bounded_by_servers_when_client_is_fat():
+    p = tiny_platform()
+    p.add_client("appA", nprocs=100)  # uplink 1000 B/s > servers 2x100
+    done = p.pfs.write("appA", "appA", "/f", 0, 1000, weight=100)
+    p.sim.run(until=done)
+    assert p.sim.now == pytest.approx(5.0)
+
+
+def test_two_apps_share_servers_by_weight():
+    p = tiny_platform()
+    p.add_client("big", nprocs=30)
+    p.add_client("small", nprocs=10)
+    d_big = p.pfs.write("big", "big", "/b", 0, 600, weight=30)
+    d_small = p.pfs.write("small", "small", "/s", 0, 200, weight=10)
+    p.sim.run()
+    # Servers carry 200 B/s total, split 3:1 (150 vs 50): big takes 4 s,
+    # small takes 200/50=4 s (then both end simultaneously by construction).
+    assert p.sim.now == pytest.approx(4.0)
+    assert d_big.triggered and d_small.triggered
+
+
+def test_read_returns_written_data_time():
+    p = tiny_platform()
+    p.add_client("appA", nprocs=100)
+    done = p.pfs.write("appA", "appA", "/f", 0, 1000, weight=100)
+    p.sim.run(until=done)
+    t0 = p.sim.now
+    done = p.pfs.read("appA", "appA", "/f", 0, 1000, weight=100)
+    p.sim.run(until=done)
+    assert p.sim.now - t0 == pytest.approx(5.0)
+
+
+def test_read_past_eof_raises():
+    p = tiny_platform()
+    p.add_client("appA", nprocs=1)
+    done = p.pfs.write("appA", "appA", "/f", 0, 50, weight=1)
+    p.sim.run(until=done)
+    with pytest.raises(SimulationError):
+        p.pfs.read("appA", "appA", "/f", 0, 51)
+
+
+def test_unlink_and_listdir():
+    p = tiny_platform()
+    p.pfs.create("/a")
+    p.pfs.create("/b")
+    assert p.pfs.listdir() == ["/a", "/b"]
+    p.pfs.unlink("/a")
+    assert p.pfs.listdir() == ["/b"]
+    with pytest.raises(SimulationError):
+        p.pfs.unlink("/a")
+
+
+def test_create_duplicate_raises():
+    p = tiny_platform()
+    p.pfs.create("/a")
+    with pytest.raises(SimulationError):
+        p.pfs.create("/a")
+
+
+def test_zero_byte_write_completes_instantly():
+    p = tiny_platform()
+    p.add_client("appA", nprocs=1)
+    done = p.pfs.write("appA", "appA", "/f", 0, 0)
+    assert done.triggered
+
+
+def test_duplicate_client_rejected():
+    p = tiny_platform()
+    p.add_client("appA", 1)
+    with pytest.raises(SimulationError):
+        p.add_client("appA", 2)
+
+
+def test_fifo_scheduler_serializes_requests():
+    p = tiny_platform(scheduler="fifo", nservers=1)
+    p.add_client("a", nprocs=100)
+    p.add_client("b", nprocs=100)
+    d1 = p.pfs.write("a", "a", "/x", 0, 100, weight=100)
+    d2 = p.pfs.write("b", "b", "/y", 0, 100, weight=100)
+    p.sim.run()
+    # Server is 100 B/s; strict FIFO services a fully, then b.
+    assert d1.value is not None
+    t1 = max(f.finish_time for f in [v for v in d1.value.values()][0:1]) \
+        if hasattr(d1.value, "values") else None
+    assert p.sim.now == pytest.approx(2.0)
+
+
+def test_app_serial_scheduler_batches_per_app():
+    p = tiny_platform(scheduler="app-serial", nservers=1)
+    p.add_client("a", nprocs=100)
+    p.add_client("b", nprocs=100)
+    # Two requests from a, one from b, interleaved in submission order.
+    da1 = p.pfs.write("a", "a", "/x1", 0, 100, weight=100)
+    db = p.pfs.write("b", "b", "/y", 0, 100, weight=100)
+    da2 = p.pfs.write("a", "a", "/x2", 0, 100, weight=100)
+    p.sim.run()
+    assert p.sim.now == pytest.approx(3.0)  # a batch (2 concurrent) + b
+
+
+def test_seek_penalty_degrades_multi_app_ingest():
+    p = tiny_platform(seek_penalty=1.0, nservers=1)
+    p.add_client("a", nprocs=100)
+    p.add_client("b", nprocs=100)
+    d1 = p.pfs.write("a", "a", "/x", 0, 100, weight=100)
+    d2 = p.pfs.write("b", "b", "/y", 0, 100, weight=100)
+    p.sim.run()
+    # Two apps: rate 100/(1+1) = 50 B/s shared -> 25 each -> 200 B joint at
+    # 50 B/s aggregate = 4 s.
+    assert p.sim.now == pytest.approx(4.0)
+
+
+def test_bytes_accounting():
+    p = tiny_platform()
+    p.add_client("appA", nprocs=10)
+    done = p.pfs.write("appA", "appA", "/f", 0, 1000, weight=10)
+    p.sim.run(until=done)
+    assert p.pfs.total_bytes_written == pytest.approx(1000.0)
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        IORequest(app="a", client="a", path="/f", offset=0, size=-1)
+    with pytest.raises(ValueError):
+        IORequest(app="a", client="a", path="/f", offset=0, size=1, kind="scan")
+    with pytest.raises(ValueError):
+        IORequest(app="a", client="a", path="/f", offset=0, size=1, weight=0)
+
+
+# -- platform presets --------------------------------------------------------
+
+def test_presets_instantiate():
+    for cfg in (surveyor(), grid5000_nancy(), grid5000_nancy(cache=True),
+                grid5000_rennes()):
+        p = Platform(cfg)
+        expected = 1 if cfg.pool_servers else cfg.nservers
+        assert len(p.servers) == expected
+
+
+def test_pooled_and_unpooled_platforms_agree():
+    """Pooling servers must not change symmetric-workload physics."""
+    import pytest as _pytest
+    times = {}
+    for pooled in (True, False):
+        cfg = grid5000_nancy().with_(pool_servers=pooled)
+        p = Platform(cfg)
+        p.add_client("app", nprocs=336)
+        done = p.pfs.write("app", "app", "/f", 0, int(336 * 16e6), weight=336)
+        p.sim.run(until=done)
+        times[pooled] = p.sim.now
+    # Pooling is exact; per-server striping has stripe-unit imbalance, so
+    # agreement is to ~1 stripe unit out of ~150k.
+    assert times[True] == _pytest.approx(times[False], rel=1e-3)
+
+
+def test_preset_calibration_anchor_nancy():
+    """Two 336-proc apps writing 16 MB/proc take ~8.5 s alone (Fig 2)."""
+    cfg = grid5000_nancy()
+    t = Platform(cfg).standalone_write_time(336, 336 * 16e6)
+    assert 7.0 < t < 10.0
+
+
+def test_preset_calibration_anchor_surveyor():
+    """2048-core app writing 32 MB/proc takes ~13 s alone (Fig 7a)."""
+    cfg = surveyor()
+    t = Platform(cfg).standalone_write_time(2048, 2048 * 32e6)
+    assert 10.0 < t < 16.0
+    # A 1024-core app must NOT saturate the file system (Fig 7b regime).
+    assert 1024 * cfg.per_core_bandwidth < cfg.aggregate_bandwidth
+
+
+def test_preset_calibration_anchor_rennes():
+    """Per-core/aggregate ratio ~55 gives the Fig 6 interference ceiling."""
+    cfg = grid5000_rennes()
+    ratio = cfg.aggregate_bandwidth / cfg.per_core_bandwidth
+    assert 45 < ratio < 65
+
+
+def test_config_with_override():
+    cfg = surveyor().with_(scheduler="fifo")
+    assert cfg.scheduler == "fifo"
+    assert surveyor().scheduler == "shared"

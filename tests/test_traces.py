@@ -1,0 +1,210 @@
+"""Unit + property tests for SWF parsing, synthesis, and Fig 1 statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    IntrepidModel, SWFJob, SWFTrace, concurrency_distribution, format_swf,
+    generate_intrepid_like, interference_probability_curve,
+    job_size_distribution, parse_swf, prob_concurrent_io,
+)
+
+
+def make_jobs(specs):
+    """specs: list of (start, runtime, procs)."""
+    return [
+        SWFJob(job_id=i + 1, submit_time=s, wait_time=0.0, run_time=r,
+               allocated_procs=p)
+        for i, (s, r, p) in enumerate(specs)
+    ]
+
+
+# -- SWF format ---------------------------------------------------------------
+
+def test_swf_roundtrip():
+    trace = SWFTrace(make_jobs([(0, 100, 64), (50, 200, 128)]),
+                     header=["; test trace"])
+    text = format_swf(trace)
+    back = parse_swf(text)
+    assert len(back) == 2
+    assert back.jobs[0].allocated_procs == 64
+    assert back.jobs[1].run_time == 200
+    assert back.header == ["; test trace"]
+
+
+def test_swf_parse_skips_blank_and_comments():
+    text = """
+; header one
+; header two
+
+1 0 5 100 64 -1 -1 64 150 -1 1 3 4 -1 -1 -1 -1 -1
+"""
+    trace = parse_swf(text)
+    assert len(trace) == 1
+    job = trace.jobs[0]
+    assert job.start_time == 5.0
+    assert job.end_time == 105.0
+    assert job.requested_procs == 64
+    assert job.user_id == 3
+
+
+def test_swf_malformed_line_raises():
+    with pytest.raises(ValueError):
+        parse_swf("1 2 3")
+
+
+def test_swf_invalid_jobs_filtered():
+    trace = SWFTrace(make_jobs([(0, -1, 64), (0, 100, -1), (0, 100, 32)]))
+    assert len(trace.valid_jobs()) == 1
+
+
+def test_swf_makespan():
+    trace = SWFTrace(make_jobs([(0, 100, 1), (500, 100, 1)]))
+    assert trace.makespan == 600.0
+
+
+# -- size distribution (Fig 1a) --------------------------------------------------
+
+def test_size_distribution_counts():
+    trace = SWFTrace(make_jobs([(0, 10, 256)] * 3 + [(0, 10, 4096)]))
+    dist = job_size_distribution(trace)
+    assert dist.fraction_at_or_below(256) == pytest.approx(0.75)
+    assert dist.fraction_at_or_below(4096) == pytest.approx(1.0)
+    assert dist.median_size() == 256
+
+
+def test_size_distribution_duration_weighting():
+    # One long small job vs three short big jobs.
+    trace = SWFTrace(make_jobs([(0, 300, 256), (0, 10, 4096),
+                                (0, 10, 4096), (0, 10, 4096)]))
+    by_count = job_size_distribution(trace)
+    by_time = job_size_distribution(trace, weight_by_duration=True)
+    assert by_count.fraction_at_or_below(256) == pytest.approx(0.25)
+    assert by_time.fraction_at_or_below(256) == pytest.approx(300 / 330)
+
+
+def test_size_distribution_empty_raises():
+    with pytest.raises(ValueError):
+        job_size_distribution(SWFTrace([]))
+
+
+# -- concurrency distribution (Fig 1b) ----------------------------------------------
+
+def test_concurrency_simple_overlap():
+    # [0,10) one job; [10,20) two jobs; [20,30) one job.
+    trace = SWFTrace(make_jobs([(0, 20, 1), (10, 20, 1)]))
+    dist = concurrency_distribution(trace)
+    pmf = dist.pmf()
+    assert pmf[1] == pytest.approx(2 / 3)
+    assert pmf[2] == pytest.approx(1 / 3)
+    assert dist.mean() == pytest.approx(4 / 3)
+
+
+def test_concurrency_window_clipping():
+    trace = SWFTrace(make_jobs([(0, 100, 1)]))
+    dist = concurrency_distribution(trace, t0=0.0, t1=200.0)
+    assert dist.pmf()[1] == pytest.approx(0.5)
+    assert dist.pmf()[0] == pytest.approx(0.5)
+
+
+def test_concurrency_empty_window_raises():
+    trace = SWFTrace(make_jobs([(0, 10, 1)]))
+    with pytest.raises(ValueError):
+        concurrency_distribution(trace, t0=5.0, t1=5.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e4),
+              st.floats(min_value=1, max_value=1e4),
+              st.integers(min_value=1, max_value=1024)),
+    min_size=1, max_size=30,
+))
+def test_concurrency_distribution_properties(specs):
+    """PMF sums to 1; mean equals Σ runtimes / window."""
+    trace = SWFTrace(make_jobs(specs))
+    dist = concurrency_distribution(trace)
+    assert np.isclose(dist.proportion.sum(), 1.0)
+    window = (max(s + r for s, r, _ in specs)
+              - min(s for s, r, _ in specs))
+    expected_mean = sum(r for _, r, _ in specs) / window
+    assert dist.mean() == pytest.approx(expected_mean, rel=1e-6)
+
+
+# -- probability model (§II-B) -------------------------------------------------------
+
+def test_prob_zero_io_fraction():
+    assert prob_concurrent_io({0: 0.5, 3: 0.5}, 0.0) == 0.0
+
+
+def test_prob_full_io_fraction():
+    # Everyone always in I/O: interference certain unless X=0.
+    assert prob_concurrent_io({0: 0.25, 2: 0.75}, 1.0) == pytest.approx(0.75)
+
+
+def test_prob_formula_matches_hand_computation():
+    pmf = {0: 0.1, 1: 0.4, 2: 0.5}
+    mu = 0.2
+    expected = 1 - (0.1 + 0.4 * 0.8 + 0.5 * 0.64)
+    assert prob_concurrent_io(pmf, mu) == pytest.approx(expected)
+
+
+def test_prob_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        prob_concurrent_io({0: 0.5}, 0.05)      # pmf doesn't sum to 1
+    with pytest.raises(ValueError):
+        prob_concurrent_io({0: 1.0}, 1.5)       # mu out of range
+
+
+def test_prob_curve_is_monotonic():
+    pmf = {i: 1 / 21 for i in range(21)}
+    curve = interference_probability_curve(pmf, np.linspace(0, 1, 11))
+    assert np.all(np.diff(curve) >= -1e-12)
+
+
+# -- synthetic generator ----------------------------------------------------------------
+
+def test_synthetic_trace_determinism():
+    t1 = generate_intrepid_like(njobs=500, seed=42)
+    t2 = generate_intrepid_like(njobs=500, seed=42)
+    assert [j.start_time for j in t1] == [j.start_time for j in t2]
+
+
+def test_synthetic_trace_seed_sensitivity():
+    t1 = generate_intrepid_like(njobs=500, seed=1)
+    t2 = generate_intrepid_like(njobs=500, seed=2)
+    assert [j.run_time for j in t1.jobs] != [j.run_time for j in t2.jobs]
+
+
+def test_synthetic_sizes_are_valid_partitions():
+    trace = generate_intrepid_like(njobs=2000, seed=3)
+    sizes = {j.allocated_procs for j in trace.jobs}
+    assert sizes <= {256 << i for i in range(10)}
+
+
+def test_synthetic_capacity_never_exceeded():
+    model = IntrepidModel(duration_days=5.0)
+    trace = generate_intrepid_like(model, seed=4)
+    events = []
+    for j in trace.valid_jobs():
+        events.append((j.start_time, j.allocated_procs))
+        events.append((j.end_time, -j.allocated_procs))
+    events.sort()
+    used, peak = 0, 0
+    for _, delta in events:
+        used += delta
+        peak = max(peak, used)
+    assert peak <= model.machine_cores
+
+
+def test_synthetic_matches_paper_headline():
+    """Half of jobs <= 2048 cores; P(concurrent I/O) ~ 64% at E[mu]=5%."""
+    model = IntrepidModel(duration_days=60.0)
+    trace = generate_intrepid_like(model, seed=5)
+    dist = job_size_distribution(trace)
+    assert 0.45 < dist.fraction_at_or_below(2048) < 0.60
+    conc = concurrency_distribution(trace)
+    p = prob_concurrent_io(conc, 0.05)
+    assert 0.5 < p < 0.75
