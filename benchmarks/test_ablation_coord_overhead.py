@@ -8,16 +8,13 @@ difference is the Prepare/Inform/Release message traffic at every round
 boundary.
 """
 
-import numpy as np
-
 from repro.apps import IORConfig
-from repro.core import CalciomRuntime
-from repro.experiments import banner, format_table
-from repro.experiments.runner import run_pair
+from repro.experiments import ExperimentEngine, ExperimentSpec, banner, format_table
 from repro.mpisim import Strided
 from repro.platforms import surveyor
 
 PLATFORM = surveyor()
+ENGINE = ExperimentEngine()
 
 
 def _app(name, grain):
@@ -27,15 +24,15 @@ def _app(name, grain):
 
 
 def _pipeline():
-    out = {}
-    for grain in ("file", "round"):
-        out[(grain, "off")] = run_pair(
+    specs = {
+        (grain, label): ExperimentSpec.pair(
             PLATFORM, _app("A", grain), _app("B", grain), dt=0.0,
-            strategy=None, measure_alone=False)
-        out[(grain, "on")] = run_pair(
-            PLATFORM, _app("A", grain), _app("B", grain), dt=0.0,
-            strategy="interfere", measure_alone=False)
-    return out
+            strategy=strategy, measure_alone=False)
+        for grain in ("file", "round")
+        for label, strategy in (("off", None), ("on", "interfere"))
+    }
+    results = ENGINE.run_all(specs.values())
+    return {key: r.as_pair() for key, r in zip(specs, results)}
 
 
 def test_ablation_coordination_overhead(once, report):

@@ -13,16 +13,14 @@ Both decisions are *optimal for their metric* — the point of making the
 metric explicit.
 """
 
-import numpy as np
-
 from repro.apps import IORConfig
 from repro.core import DynamicStrategy
-from repro.experiments import banner, format_table
-from repro.experiments.runner import run_pair
+from repro.experiments import ExperimentEngine, ExperimentSpec, banner, format_table
 from repro.mpisim import Strided
 from repro.platforms import grid5000_rennes
 
 PLATFORM = grid5000_rennes()
+ENGINE = ExperimentEngine()
 METRICS = ["cpu-seconds-wasted", "sum-interference-factors", "max-slowdown"]
 
 
@@ -35,8 +33,9 @@ def _app(name, nprocs):
 def _pipeline():
     out = {}
     for metric in METRICS:
-        out[metric] = run_pair(PLATFORM, _app("A", 744), _app("B", 24),
-                               dt=2.0, strategy=DynamicStrategy(metric))
+        spec = ExperimentSpec.pair(PLATFORM, _app("A", 744), _app("B", 24),
+                                   dt=2.0, strategy=DynamicStrategy(metric))
+        out[metric] = ENGINE.run(spec).as_pair()
     return out
 
 

@@ -10,17 +10,15 @@ with exchanged knowledge.
 Uses unpooled servers (the policies act per server).
 """
 
-import numpy as np
-
 from repro.apps import IORConfig
-from repro.experiments import banner, format_table
-from repro.experiments.runner import run_pair
+from repro.experiments import ExperimentEngine, ExperimentSpec, banner, format_table
 from repro.mpisim import Contiguous
 from repro.platforms import grid5000_rennes
 
 #: Scaled-down unpooled platform: 4 physical servers keep the flow count low.
 BASE = grid5000_rennes().with_(pool_servers=False, nservers=4,
                                disk_bandwidth=150e6)
+ENGINE = ExperimentEngine()
 
 
 def _app(name, nprocs):
@@ -33,10 +31,12 @@ def _pipeline():
     out = {}
     for sched in ("shared", "fifo", "app-serial"):
         platform_cfg = BASE.with_(scheduler=sched)
-        out[sched] = run_pair(platform_cfg, _app("A", 744), _app("B", 24),
-                              dt=2.0)
-    out["calciom-interrupt"] = run_pair(BASE, _app("A", 744), _app("B", 24),
-                                        dt=2.0, strategy="interrupt")
+        spec = ExperimentSpec.pair(platform_cfg, _app("A", 744),
+                                   _app("B", 24), dt=2.0)
+        out[sched] = ENGINE.run(spec).as_pair()
+    out["calciom-interrupt"] = ENGINE.run(ExperimentSpec.pair(
+        BASE, _app("A", 744), _app("B", 24), dt=2.0,
+        strategy="interrupt")).as_pair()
     return out
 
 

@@ -11,24 +11,15 @@ proportional-sharing expected curve.
 
 import numpy as np
 
-from repro.apps import IORConfig
-from repro.experiments import banner, format_table, run_delta_graph
-from repro.mpisim import Contiguous
-from repro.platforms import grid5000_nancy
+from repro.experiments import ExperimentEngine, banner, build_scenario, format_table
 
-PLATFORM = grid5000_nancy()
-APP = dict(pattern=Contiguous(block_size=16_000_000), procs_per_node=24,
-           grain=None)
+ENGINE = ExperimentEngine()
 DTS = np.arange(-14.0, 14.1, 2.0)
 
 
 def _pipeline():
-    return run_delta_graph(
-        PLATFORM,
-        IORConfig(name="A", nprocs=336, **APP),
-        IORConfig(name="B", nprocs=336, **APP),
-        dts=DTS, with_expected=True,
-    )
+    specs = build_scenario("fig02-contiguous-pair", dts=DTS)
+    return ENGINE.run_all(specs).delta_graph(with_expected=True)
 
 
 def test_fig02_delta_graph(once, report):

@@ -11,12 +11,13 @@ cache (the dirty pool overflows) and throughput "drops dramatically".
 import numpy as np
 
 from repro.apps import IORConfig
-from repro.experiments import banner, format_table
-from repro.experiments.runner import run_pair, run_single
+from repro.experiments import ExperimentEngine, ExperimentSpec, banner, format_table
+from repro.experiments.runner import run_single
 from repro.mpisim import Contiguous
 from repro.platforms import grid5000_nancy
 
 PLATFORM = grid5000_nancy(cache=True)
+ENGINE = ExperimentEngine()
 
 
 def _app(name, period, iterations):
@@ -33,8 +34,9 @@ def _app(name, period, iterations):
 
 def _pipeline():
     alone = run_single(PLATFORM, _app("ior1", 10.0, 10))
-    both = run_pair(PLATFORM, _app("ior1", 10.0, 10), _app("ior2", 7.0, 15),
-                    dt=0.0, measure_alone=False)
+    both = ENGINE.run(ExperimentSpec.pair(
+        PLATFORM, _app("ior1", 10.0, 10), _app("ior2", 7.0, 15),
+        dt=0.0, measure_alone=False)).as_pair()
     return alone, both
 
 

@@ -6,15 +6,13 @@ size of B varies; each process writes 16 MB; both start simultaneously.
 throughput compared with B running alone on 8 cores."
 """
 
-import numpy as np
-
 from repro.apps import IORConfig
-from repro.experiments import banner, format_table
-from repro.experiments.runner import run_pair
+from repro.experiments import ExperimentEngine, ExperimentSpec, banner, format_table
 from repro.mpisim import Contiguous
 from repro.platforms import grid5000_nancy
 
 PLATFORM = grid5000_nancy()
+ENGINE = ExperimentEngine()
 SIZES_B = [8, 16, 32, 64, 128, 336]
 
 
@@ -25,11 +23,11 @@ def _app(name, nprocs):
 
 
 def _pipeline():
-    results = {}
-    for nb in SIZES_B:
-        results[nb] = run_pair(PLATFORM, _app("A", 336), _app("B", nb),
-                               dt=0.0)
-    return results
+    specs = [ExperimentSpec.pair(PLATFORM, _app("A", 336), _app("B", nb),
+                                 dt=0.0, meta={"split": nb})
+             for nb in SIZES_B]
+    results = ENGINE.run_all(specs)
+    return {r.spec.meta["split"]: r.as_pair() for r in results}
 
 
 def test_fig04_small_vs_big(once, report):

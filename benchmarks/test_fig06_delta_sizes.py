@@ -10,27 +10,18 @@ N in {24, 48, 96, 192, 384}; each process writes 16 MB as 8 strides of
 * for dt < 0 (B writes first and fits before A starts), both stay near 1.
 """
 
-import numpy as np
+from repro.experiments import ExperimentEngine, banner, build_scenario, format_table
 
-from repro.apps import IORConfig
-from repro.experiments import banner, format_table, size_split_sweep
-from repro.mpisim import Strided
-from repro.platforms import grid5000_rennes
-
-PLATFORM = grid5000_rennes()
+ENGINE = ExperimentEngine()
 SIZES_B = [24, 48, 96, 192, 384]
 DTS = [-10.0, -5.0, -2.0, 0.0, 2.0, 5.0, 10.0, 15.0]
 
 
-def _base(name):
-    return IORConfig(name=name, nprocs=1,
-                     pattern=Strided(block_size=2_000_000, nblocks=8),
-                     procs_per_node=24, grain=None)
-
-
 def _pipeline():
-    return size_split_sweep(PLATFORM, _base("A"), _base("B"),
-                            total_cores=768, sizes_b=SIZES_B, dts=DTS)
+    specs = build_scenario("fig06-size-split", total_cores=768,
+                           sizes_b=SIZES_B, dts=DTS)
+    grouped = ENGINE.run_all(specs).group_by_meta("split")
+    return {nb: rs.delta_graph() for nb, rs in grouped.items()}
 
 
 def test_fig06_delta_sizes(once, report):

@@ -15,11 +15,12 @@ Paper setup: BG/P Surveyor, 4-server PVFS2; two equal applications write
 import numpy as np
 
 from repro.apps import IORConfig
-from repro.experiments import banner, format_table, run_delta_graph
+from repro.experiments import ExperimentEngine, banner, format_table
 from repro.mpisim import Contiguous
 from repro.platforms import surveyor
 
 PLATFORM = surveyor()
+ENGINE = ExperimentEngine()
 DTS = [-14.0, -10.0, -6.0, -2.0, 0.0, 2.0, 6.0, 10.0, 14.0]
 
 
@@ -33,11 +34,11 @@ def _pipeline():
     out = {}
     for n in (2048, 1024):
         out[n] = {
-            "interfere": run_delta_graph(PLATFORM, _app("A", n), _app("B", n),
-                                         DTS, strategy=None,
-                                         with_expected=True),
-            "fcfs": run_delta_graph(PLATFORM, _app("A", n), _app("B", n),
-                                    DTS, strategy="fcfs"),
+            "interfere": ENGINE.delta_graph(PLATFORM, _app("A", n),
+                                            _app("B", n), DTS, strategy=None,
+                                            with_expected=True),
+            "fcfs": ENGINE.delta_graph(PLATFORM, _app("A", n), _app("B", n),
+                                       DTS, strategy="fcfs"),
         }
     return out
 

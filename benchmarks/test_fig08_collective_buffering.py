@@ -14,11 +14,12 @@ buffering (two-phase I/O) algorithm.
 import numpy as np
 
 from repro.apps import IORConfig
-from repro.experiments import banner, format_table, run_delta_graph, run_pair
+from repro.experiments import ExperimentEngine, ExperimentSpec, banner, format_table
 from repro.mpisim import Strided
 from repro.platforms import surveyor
 
 PLATFORM = surveyor()
+ENGINE = ExperimentEngine()
 DTS = [-40.0, -25.0, -10.0, 0.0, 10.0, 25.0, 40.0]
 
 
@@ -29,17 +30,15 @@ def _app(name):
 
 
 def _pipeline():
-    interfere = run_delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
-                                strategy=None, with_expected=True)
-    fcfs = run_delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
-                           strategy="fcfs")
+    interfere = ENGINE.delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
+                                   strategy=None, with_expected=True)
+    fcfs = ENGINE.delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
+                              strategy="fcfs")
     # Phase breakdown: alone, dt=0, dt=10 (paper bars: dt=0s, dt=10s, none).
-    alone = run_pair(PLATFORM, _app("A"), _app("B"), dt=1e6,
-                     measure_alone=False)
-    both0 = run_pair(PLATFORM, _app("A"), _app("B"), dt=0.0,
-                     measure_alone=False)
-    both10 = run_pair(PLATFORM, _app("A"), _app("B"), dt=10.0,
-                      measure_alone=False)
+    specs = [ExperimentSpec.pair(PLATFORM, _app("A"), _app("B"), dt=dt,
+                                 measure_alone=False)
+             for dt in (1e6, 0.0, 10.0)]
+    alone, both0, both10 = (r.as_pair() for r in ENGINE.run_all(specs))
     return interfere, fcfs, alone, both0, both10
 
 

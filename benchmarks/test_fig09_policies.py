@@ -11,31 +11,23 @@ strided pattern; splits of 768 cores: (744, 24) and (384, 384).  Claims:
 * each policy wins somewhere -> motivates the dynamic selection.
 """
 
-import numpy as np
+from repro.experiments import ExperimentEngine, banner, build_scenario, format_table
 
-from repro.apps import IORConfig
-from repro.experiments import banner, format_table, run_delta_graph
-from repro.mpisim import Strided
-from repro.platforms import grid5000_rennes
-
-PLATFORM = grid5000_rennes()
+ENGINE = ExperimentEngine()
 DTS = [-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0]
 STRATEGIES = [None, "fcfs", "interrupt"]
 SPLITS = [(744, 24), (384, 384)]
 
 
-def _app(name, nprocs):
-    return IORConfig(name=name, nprocs=nprocs,
-                     pattern=Strided(block_size=1_000_000, nblocks=8),
-                     procs_per_node=24, grain="round")
-
-
 def _pipeline():
+    specs = build_scenario("fig09-policies", splits=SPLITS, dts=DTS,
+                           strategies=STRATEGIES)
+    results = ENGINE.run_all(specs)
     out = {}
-    for na, nb in SPLITS:
+    for nb, by_split in results.group_by_meta("split").items():
         for strat in STRATEGIES:
-            out[(nb, strat)] = run_delta_graph(
-                PLATFORM, _app("A", na), _app("B", nb), DTS, strategy=strat)
+            sub = by_split.filter(lambda r: r.spec.strategy == strat)
+            out[(nb, strat)] = sub.delta_graph()
     return out
 
 

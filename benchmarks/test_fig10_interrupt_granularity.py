@@ -21,13 +21,12 @@ live in units of A's file time, not absolute seconds).
 import numpy as np
 
 from repro.apps import IORConfig
-from repro.experiments import (
-    banner, format_table, run_delta_graph, standalone_time,
-)
+from repro.experiments import ExperimentEngine, banner, format_table
 from repro.mpisim import Contiguous
 from repro.platforms import surveyor
 
 PLATFORM = surveyor()
+ENGINE = ExperimentEngine()
 
 
 def _app(name, nfiles, grain):
@@ -38,7 +37,7 @@ def _app(name, nfiles, grain):
 
 
 def _pipeline():
-    t_a = standalone_time(PLATFORM, _app("A", 4, "round"))
+    t_a = ENGINE.baseline(PLATFORM, _app("A", 4, "round"))
     # 16 points from "B slightly first" to "B after A finished", sampling
     # inside each of A's four files (4 points per file).
     dts = list(np.round(np.linspace(-0.1 * t_a, 1.05 * t_a, 16), 3))
@@ -50,7 +49,7 @@ def _pipeline():
     }
     out = {}
     for label, (strategy, grain) in cases.items():
-        out[label] = run_delta_graph(
+        out[label] = ENGINE.delta_graph(
             PLATFORM, _app("A", 4, grain), _app("B", 1, grain),
             dts, strategy=strategy)
     return dts, out

@@ -17,31 +17,24 @@ standalone times (see Fig 10's note).
 
 import numpy as np
 
-from repro.apps import IORConfig
 from repro.experiments import (
-    banner, format_table, run_delta_graph, standalone_time,
+    ExperimentEngine, banner, build_scenario, format_table,
 )
-from repro.mpisim import Contiguous
-from repro.platforms import surveyor
 
-PLATFORM = surveyor()
+ENGINE = ExperimentEngine()
 NPROCS = 2048
 
 
-def _app(name, nfiles):
-    return IORConfig(name=name, nprocs=NPROCS,
-                     pattern=Contiguous(block_size=4_000_000),
-                     nfiles=nfiles, procs_per_node=4,
-                     scope="phase", grain="round")
-
-
 def _pipeline():
-    t_a = standalone_time(PLATFORM, _app("A", 4))
+    probe = build_scenario("surveyor-four-files")[0]
+    t_a = ENGINE.baseline(probe.platform, probe.workload("A"))
     dts = list(np.round(np.linspace(-0.3 * t_a, 1.1 * t_a, 15), 3))
-    baseline = run_delta_graph(PLATFORM, _app("A", 4), _app("B", 1), dts,
-                               strategy=None)
-    calciom = run_delta_graph(PLATFORM, _app("A", 4), _app("B", 1), dts,
-                              strategy="dynamic")
+    baseline = ENGINE.run_all(
+        build_scenario("surveyor-four-files", dts=dts, strategy=None)
+    ).delta_graph()
+    calciom = ENGINE.run_all(
+        build_scenario("surveyor-four-files", dts=dts, strategy="dynamic")
+    ).delta_graph()
     return dts, baseline, calciom
 
 

@@ -19,11 +19,12 @@ import numpy as np
 
 from repro.apps import IORConfig
 from repro.core import DynamicStrategy
-from repro.experiments import banner, format_table, run_delta_graph
+from repro.experiments import ExperimentEngine, banner, format_table
 from repro.mpisim import Contiguous
 from repro.platforms import surveyor
 
 PLATFORM = surveyor()
+ENGINE = ExperimentEngine()
 DTS = [-14.0, -10.0, -6.0, -2.0, 0.0, 2.0, 6.0, 10.0, 14.0]
 
 
@@ -34,14 +35,15 @@ def _app(name):
 
 
 def _pipeline():
-    interfere = run_delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
-                                strategy=None, with_expected=True)
-    fcfs = run_delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
-                           strategy="fcfs")
-    extended = run_delta_graph(
+    interfere = ENGINE.delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
+                                   strategy=None, with_expected=True)
+    fcfs = ENGINE.delta_graph(PLATFORM, _app("A"), _app("B"), DTS,
+                              strategy="fcfs")
+    # Strategy *instances* (not JSON-serializable, but fine to execute).
+    extended = ENGINE.delta_graph(
         PLATFORM, _app("A"), _app("B"), DTS,
         strategy=DynamicStrategy(consider_interference=True))
-    delaying = run_delta_graph(
+    delaying = ENGINE.delta_graph(
         PLATFORM, _app("A"), _app("B"), DTS,
         strategy=DynamicStrategy(consider_interference=True,
                                  consider_delay=True))

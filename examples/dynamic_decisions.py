@@ -4,47 +4,44 @@
 Application A writes four output files; application B arrives at various
 offsets wanting to write one.  Under the CPU-seconds-wasted metric the
 paper derives the rule: *interrupt A iff dt < T_A(alone) - T_B(alone)*.
-This example replays the scenario across dt values and prints the
-arbiter's audit log — every decision with the predicted cost of each
-option — so you can see the rule emerge from the exchanged information.
+This example builds the scenario declaratively ("surveyor-four-files"
+from the registry), fans the per-dt experiments through one engine, and
+prints the arbiter's audit log — every decision with the predicted cost
+of each option — so you can see the rule emerge from the exchanged
+information.
 
 Run:  python examples/dynamic_decisions.py
 """
 
-from repro.apps import IORConfig
-from repro.experiments import format_table, run_pair, standalone_time
-from repro.mpisim import Contiguous
-from repro.platforms import surveyor
-
-
-def app(name, nfiles):
-    return IORConfig(name=name, nprocs=2048,
-                     pattern=Contiguous(block_size=4_000_000),
-                     nfiles=nfiles, procs_per_node=4,
-                     scope="phase", grain="round")
+from repro.experiments import ExperimentEngine, build_scenario, format_table
 
 
 def main() -> None:
-    platform_cfg = surveyor()
-    t_a = standalone_time(platform_cfg, app("A", 4))
-    t_b = standalone_time(platform_cfg, app("B", 1))
+    engine = ExperimentEngine()
+    probe = build_scenario("surveyor-four-files")[0]
+    platform = probe.platform
+    nprocs = probe.workload("B").nprocs
+    t_a = engine.baseline(platform, probe.workload("A"))
+    t_b = engine.baseline(platform, probe.workload("B"))
     crossover = t_a - t_b
     print(f"T_A(alone) = {t_a:.2f}s   T_B(alone) = {t_b:.2f}s")
     print(f"paper's rule: interrupt A iff dt < T_A - T_B = {crossover:.2f}s\n")
 
+    dts = [round(frac * t_a, 2) for frac in (0.15, 0.40, 0.65, 0.90)]
+    results = engine.run_all(
+        build_scenario("surveyor-four-files", dts=dts, strategy="dynamic"))
+
     rows = []
-    for frac in (0.15, 0.40, 0.65, 0.90):
-        dt = round(frac * t_a, 2)
-        result = run_pair(platform_cfg, app("A", 4), app("B", 1), dt=dt,
-                          strategy="dynamic")
+    for result in results:
+        pair = result.as_pair()
         decision = next(d for d in result.decisions if d.app == "B")
         rows.append([
-            dt,
-            f"{decision.costs.get('fcfs', float('nan')) / 2048:.2f}",
-            f"{decision.costs.get('interrupt', float('nan')) / 2048:.2f}",
+            result.dt,
+            f"{decision.costs.get('fcfs', float('nan')) / nprocs:.2f}",
+            f"{decision.costs.get('interrupt', float('nan')) / nprocs:.2f}",
             decision.action.value,
-            f"{result.a.write_time:.2f}",
-            f"{result.b.write_time:.2f}",
+            f"{pair.a.write_time:.2f}",
+            f"{pair.b.write_time:.2f}",
         ])
     print(format_table(
         ["dt", "predicted f(fcfs)/N", "predicted f(intr)/N",

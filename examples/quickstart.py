@@ -1,53 +1,48 @@
 #!/usr/bin/env python
 """Quickstart: two applications, one shared file system, CALCioM on/off.
 
-Builds the simulated Grid'5000 Rennes platform, runs a big application
-(600 cores) against a small one (24 cores) writing at the same time, and
-compares uncoordinated interference with CALCioM's dynamic strategy.
+Declares the workload mix once (via the named-scenario registry), then
+runs it under every coordination setup through one
+:class:`~repro.experiments.engine.ExperimentEngine` — standalone
+baselines are measured once and shared through the engine's cache.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.apps import IORConfig
 from repro.core import DynamicStrategy, SumInterferenceFactors
-from repro.experiments import format_table, run_pair
-from repro.mpisim import Strided
-from repro.platforms import grid5000_rennes
+from repro.experiments import (
+    ExperimentEngine, build_scenario, format_table, result_set_csv,
+)
 
 
 def main() -> None:
-    platform_cfg = grid5000_rennes()
-
-    big = IORConfig(
-        name="big-sim", nprocs=600,
-        pattern=Strided(block_size=2_000_000, nblocks=8),  # 16 MB/process
-        procs_per_node=24,
-    )
-    small = IORConfig(
-        name="small-analysis", nprocs=24,
-        pattern=Strided(block_size=2_000_000, nblocks=8),
-        procs_per_node=24,
-    )
+    engine = ExperimentEngine()
 
     print("Two applications start writing 2 s apart on a 12-server "
           "OrangeFS machine.\n")
-    rows = []
-    for label, strategy in [
+    setups = [
         ("uncoordinated", None),
         ("CALCioM fcfs", "fcfs"),
         ("CALCioM interrupt", "interrupt"),
         ("CALCioM dynamic (CPU-seconds metric)", "dynamic"),
         ("CALCioM dynamic (sum-of-I metric)",
          DynamicStrategy(SumInterferenceFactors())),
-    ]:
-        result = run_pair(platform_cfg, big, small, dt=2.0,
-                          strategy=strategy)
+    ]
+    # One spec per setup: the scenario declares the 600-core vs 24-core
+    # workload mix; only the strategy varies.
+    specs = [build_scenario("rennes-big-small", dt=2.0, strategy=strategy)[0]
+             for _, strategy in setups]
+    results = engine.run_all(specs)
+
+    rows = []
+    for (label, _), result in zip(setups, results):
+        pair = result.as_pair()
         rows.append([
             label,
-            f"{result.a.write_time:.2f}s",
-            f"{result.b.write_time:.2f}s",
-            f"{result.a.interference_factor:.2f}",
-            f"{result.b.interference_factor:.2f}",
+            f"{pair.a.write_time:.2f}s",
+            f"{pair.b.write_time:.2f}s",
+            f"{pair.a.interference_factor:.2f}",
+            f"{pair.b.interference_factor:.2f}",
         ])
     print(format_table(
         ["setup", "T big", "T small", "I big", "I small"], rows))
@@ -60,6 +55,10 @@ def main() -> None:
         "\nsmall one waits), the interference-factor metric favours the"
         "\nsmall one (so the big one is interrupted)."
     )
+    print("\nMachine-readable export (named strategies only):\n")
+    print(result_set_csv(results.filter(
+        lambda r: r.spec.strategy is None
+        or isinstance(r.spec.strategy, str))))
 
 
 if __name__ == "__main__":

@@ -1,8 +1,22 @@
-"""Experiment harness: Δ-graphs, pairwise runs, expected curves, reporting."""
+"""Experiment harness: declarative specs, pluggable engines, Δ-graphs.
+
+The declarative API (:class:`ExperimentSpec` + :class:`ExperimentEngine`)
+is the canonical path: describe a campaign as data, run it through a
+serial or process-parallel executor, and get a uniform :class:`ResultSet`.
+The old free functions (``run_pair``, ``run_many``, ``run_delta_graph``,
+the sweep helpers) remain as thin shims over the default engine.
+"""
 
 from .deltagraph import DeltaGraph, run_delta_graph
+from .engine import (
+    BaselineCache, Executor, ExperimentEngine, ExperimentResult,
+    ParallelExecutor, ResultSet, SerialExecutor, clear_baseline_cache,
+    default_engine,
+)
 from .expected import TwoFlowModel, expected_delta_curve, expected_pair_times
-from .export import delta_graph_csv, multi_result_csv
+from .export import (
+    delta_graph_csv, multi_result_csv, result_set_csv, result_set_json,
+)
 from .interference import (
     cpu_seconds_wasted, efficiency_summary, interference_factor,
     sum_interference_factors,
@@ -11,16 +25,38 @@ from .multi import MultiResult, run_many
 from .replay import ReplayPlan, plan_replay, replay_trace
 from .reporting import banner, format_series, format_table, sparkline
 from .runner import AppRecord, PairResult, run_pair, run_single, standalone_time
+from .scenarios import (
+    Scenario, build_scenario, get_scenario, list_scenarios,
+    register_scenario,
+)
+from .spec import (
+    ExperimentSpec, WorkloadSpec, pattern_from_dict, pattern_to_dict,
+    platform_from_dict, platform_to_dict,
+)
 from .sweeps import size_split_sweep, split_pairs, strategy_comparison
 
 __all__ = [
+    # declarative API
+    "ExperimentSpec", "WorkloadSpec",
+    "pattern_to_dict", "pattern_from_dict",
+    "platform_to_dict", "platform_from_dict",
+    "ExperimentEngine", "ExperimentResult", "ResultSet",
+    "Executor", "SerialExecutor", "ParallelExecutor",
+    "BaselineCache", "default_engine", "clear_baseline_cache",
+    # scenarios
+    "Scenario", "register_scenario", "get_scenario", "build_scenario",
+    "list_scenarios",
+    # Δ-graphs and analytics
     "DeltaGraph", "run_delta_graph",
     "TwoFlowModel", "expected_pair_times", "expected_delta_curve",
     "interference_factor", "sum_interference_factors", "cpu_seconds_wasted",
     "efficiency_summary",
+    # legacy entry points
     "AppRecord", "PairResult", "run_single", "run_pair", "standalone_time",
     "MultiResult", "run_many", "ReplayPlan", "plan_replay", "replay_trace",
-    "delta_graph_csv", "multi_result_csv",
+    # export and reporting
+    "delta_graph_csv", "multi_result_csv", "result_set_csv",
+    "result_set_json",
     "split_pairs", "size_split_sweep", "strategy_comparison",
     "format_table", "format_series", "sparkline", "banner",
 ]

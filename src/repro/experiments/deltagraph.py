@@ -19,8 +19,7 @@ import numpy as np
 
 from ..apps import IORConfig
 from ..platforms import PlatformConfig
-from .expected import expected_delta_curve
-from .runner import PairResult, run_pair, standalone_time
+from .runner import PairResult
 
 __all__ = ["DeltaGraph", "run_delta_graph"]
 
@@ -63,32 +62,11 @@ def run_delta_graph(platform_cfg: PlatformConfig, cfg_a: IORConfig,
                     with_expected: bool = False) -> DeltaGraph:
     """Sweep ``dts`` for (A, B) under ``strategy`` (None = uncoordinated).
 
-    Each dt is an independent experiment on a fresh platform.  The
-    standalone baselines are measured once and shared.
+    .. deprecated:: use ``ExperimentEngine.delta_graph`` — it shares the
+        standalone baselines through the engine's cache and can fan the
+        independent per-dt simulations out across processes.
     """
-    t_alone_a = standalone_time(platform_cfg, cfg_a)
-    t_alone_b = standalone_time(platform_cfg, cfg_b)
-    t_a = np.empty(len(dts))
-    t_b = np.empty(len(dts))
-    pairs: List[PairResult] = []
-    for i, dt in enumerate(dts):
-        pair = run_pair(platform_cfg, cfg_a, cfg_b, dt=float(dt),
-                        strategy=strategy, measure_alone=False)
-        pair.a.t_alone = t_alone_a
-        pair.b.t_alone = t_alone_b
-        t_a[i] = pair.a.write_time
-        t_b[i] = pair.b.write_time
-        pairs.append(pair)
-    graph = DeltaGraph(
-        dts=np.asarray(dts, dtype=float), t_a=t_a, t_b=t_b,
-        t_alone_a=t_alone_a, t_alone_b=t_alone_b,
-        strategy=strategy, pairs=pairs,
-    )
-    if with_expected:
-        graph.expected_a, graph.expected_b = expected_delta_curve(
-            platform_cfg,
-            cfg_a.nprocs, cfg_a.bytes_per_phase,
-            cfg_b.nprocs, cfg_b.bytes_per_phase,
-            graph.dts,
-        )
-    return graph
+    from .engine import default_engine
+    return default_engine().delta_graph(platform_cfg, cfg_a, cfg_b, dts,
+                                        strategy=strategy,
+                                        with_expected=with_expected)

@@ -1,19 +1,30 @@
-"""Result export: turn experiment objects into CSV for external tooling.
+"""Result export: turn experiment objects into CSV/JSON for external tooling.
 
 The benchmarks print ASCII series; downstream users plotting against the
-paper want machine-readable output.  These helpers are intentionally
-dependency-free (plain ``csv``-style strings) so results can be shipped
-anywhere.
+paper want machine-readable output.  Everything funnels through one
+row-building path: a :class:`~repro.experiments.engine.ResultSet` exports
+per-(experiment, application) rows, and the legacy ``DeltaGraph`` /
+``MultiResult`` helpers remain for their specific shapes.  These helpers
+are intentionally dependency-free (plain ``csv``-style strings) so results
+can be shipped anywhere.
 """
 
 from __future__ import annotations
 
 import io
+import json
+from typing import Optional
 
 from .deltagraph import DeltaGraph
+from .engine import ExperimentResult, ResultSet
 from .multi import MultiResult
+from .runner import AppRecord
 
-__all__ = ["delta_graph_csv", "multi_result_csv"]
+__all__ = ["delta_graph_csv", "multi_result_csv", "result_set_csv",
+           "result_set_json"]
+
+#: Marker for cells whose value cannot be computed (e.g. no baseline).
+MISSING = "n/a"
 
 
 def _write_rows(header, rows) -> str:
@@ -31,6 +42,24 @@ def _cell(value) -> str:
     if "," in text or '"' in text:
         text = '"' + text.replace('"', '""') + '"'
     return text
+
+
+def _record_cells(rec: AppRecord) -> list:
+    """The shared per-application cell block: time, baseline, factor, wait.
+
+    A missing baseline (``t_alone is None``) or a degenerate one
+    (``t_alone <= 0``, where the factor is undefined) yields an explicit
+    :data:`MISSING` cell rather than being silently dropped — note
+    ``is not None``: a legitimate ``t_alone == 0.0`` still exports as 0.
+    """
+    has_baseline = rec.t_alone is not None
+    return [
+        rec.write_time,
+        rec.t_alone if has_baseline else MISSING,
+        (rec.interference_factor
+         if has_baseline and rec.t_alone > 0 else MISSING),
+        rec.wait_times[0] if rec.wait_times else 0.0,
+    ]
 
 
 def delta_graph_csv(graph: DeltaGraph) -> str:
@@ -56,10 +85,72 @@ def multi_result_csv(result: MultiResult) -> str:
     rows = []
     for name in sorted(result.records):
         rec = result.records[name]
-        rows.append([
-            name, rec.nprocs, rec.write_time,
-            rec.t_alone if rec.t_alone is not None else "",
-            rec.interference_factor if rec.t_alone else "",
-            rec.wait_times[0] if rec.wait_times else 0.0,
-        ])
+        rows.append([name, rec.nprocs] + _record_cells(rec))
     return _write_rows(header, rows)
+
+
+def result_set_csv(results: ResultSet) -> str:
+    """The uniform export: one row per (experiment, application).
+
+    Campaign coordinates surface as ``dt``; ``experiment`` is the spec's
+    name or its index in the set.
+    """
+    header = ["experiment", "strategy", "dt", "app", "nprocs", "write_time",
+              "t_alone", "interference_factor", "wait_time", "makespan"]
+    rows = []
+    for index, result in enumerate(results):
+        spec = result.spec
+        label = spec.name or str(index)
+        if spec.strategy is None:
+            strategy = "none"
+        elif isinstance(spec.strategy, str):
+            strategy = spec.strategy
+        else:
+            # Strategy instances have no stable string form; export the
+            # class name rather than a repr with a memory address.
+            strategy = type(spec.strategy).__name__
+        dt = spec.meta.get("dt")
+        for name in spec.names:
+            rec = result.records[name]
+            rows.append([label, strategy,
+                         dt if dt is not None else MISSING,
+                         name, rec.nprocs]
+                        + _record_cells(rec) + [result.makespan])
+    return _write_rows(header, rows)
+
+
+def _record_dict(rec: AppRecord) -> dict:
+    return {
+        "name": rec.name,
+        "nprocs": rec.nprocs,
+        "write_times": list(rec.write_times),
+        "wait_times": list(rec.wait_times),
+        "comm_times": list(rec.comm_times),
+        "io_write_times": list(rec.io_write_times),
+        "t_alone": rec.t_alone,
+    }
+
+
+def _result_dict(result: ExperimentResult) -> dict:
+    return {
+        "spec": result.spec.to_dict(),
+        "makespan": result.makespan,
+        "records": {name: _record_dict(rec)
+                    for name, rec in result.records.items()},
+        "decisions": [
+            {"time": d.time, "app": d.app, "action": d.action.value,
+             "active": list(d.active), "waiting": list(d.waiting),
+             "costs": dict(d.costs)}
+            for d in result.decisions
+        ],
+    }
+
+
+def result_set_json(results: ResultSet, indent: Optional[int] = None) -> str:
+    """Full-fidelity JSON export: specs, records, and decision logs.
+
+    Specs serialize through ``ExperimentSpec.to_dict`` — named strategies
+    only (a :class:`~repro.core.Strategy` instance raises ``TypeError``).
+    """
+    return json.dumps({"results": [_result_dict(r) for r in results]},
+                      indent=indent)

@@ -3,10 +3,12 @@
 §III-A: "these strategies naturally extend to more than two applications.
 The adaptive strategy would then consist in either choosing a place in a
 queue of applications that have requested access to the system, or
-interrupting the one currently accessing it."  The pairwise runner covers
-the paper's figures; this module runs arbitrary application sets so the
-queueing behaviour (FCFS chains, preemption stacks, decision logs with
-several waiters) is exercised and testable.
+interrupting the one currently accessing it."  :class:`MultiResult` is the
+legacy N-application result shape; :func:`run_many` is now a thin shim
+over the declarative engine — build an
+:class:`~repro.experiments.spec.ExperimentSpec` with N workloads and run
+it through an :class:`~repro.experiments.engine.ExperimentEngine` for the
+uniform :class:`~repro.experiments.engine.ResultSet` path.
 """
 
 from __future__ import annotations
@@ -14,10 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..apps import IORApp, IORConfig
-from ..core import CalciomRuntime, DecisionRecord
-from ..platforms import Platform, PlatformConfig
-from .runner import AppRecord, standalone_time
+from ..apps import IORConfig
+from ..core import DecisionRecord
+from ..platforms import PlatformConfig
+from .engine import default_engine
+from .runner import AppRecord
+from .spec import ExperimentSpec
 
 __all__ = ["MultiResult", "run_many"]
 
@@ -52,39 +56,12 @@ def run_many(platform_cfg: PlatformConfig, configs: Sequence[IORConfig],
              measure_alone: bool = True) -> MultiResult:
     """Run every workload in ``configs`` together on a fresh platform.
 
+    .. deprecated:: use ``ExperimentEngine.run(ExperimentSpec(...))``.
+
     Start offsets come from each config's ``start_time``.  With a strategy,
     every application gets a CALCioM session under one shared runtime (and
     arbiter), exactly as on a production machine.
     """
-    names = [c.name for c in configs]
-    if len(set(names)) != len(names):
-        raise ValueError(f"duplicate application names in {names}")
-    platform = Platform(platform_cfg)
-    runtime: Optional[CalciomRuntime] = None
-    if strategy is not None:
-        runtime = CalciomRuntime(platform, strategy=strategy)
-    apps: List[IORApp] = []
-    for cfg in configs:
-        app = IORApp(platform, cfg)
-        if runtime is not None:
-            session = runtime.session(cfg.name, app.client, cfg.nprocs,
-                                      app.comm)
-            app.guard = session
-            app.adio.guard = session
-        apps.append(app)
-    for app in apps:
-        app.start()
-    platform.sim.run()
-
-    records: Dict[str, AppRecord] = {}
-    for app in apps:
-        t_alone = (standalone_time(platform_cfg, app.config)
-                   if measure_alone else None)
-        records[app.config.name] = AppRecord.from_app(app, t_alone)
-    makespan = max(p.end for app in apps for p in app.phases)
-    return MultiResult(
-        records=records,
-        strategy=strategy,
-        decisions=list(runtime.decision_log) if runtime else [],
-        makespan=makespan,
-    )
+    spec = ExperimentSpec(platform=platform_cfg, workloads=tuple(configs),
+                          strategy=strategy, measure_alone=measure_alone)
+    return default_engine().run(spec).as_multi()

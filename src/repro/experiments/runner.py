@@ -1,17 +1,23 @@
-"""Experiment orchestration: standalone and pairwise application runs.
+"""Legacy experiment entry points: standalone and pairwise application runs.
 
-Every figure in the paper reduces to "run application A (and maybe B) on a
-fresh machine under some coordination setup and record phase times".  The
-runner builds a clean platform per run (experiments never share simulator
-state, mirroring the authors reserving the full machine per experiment),
-wires CALCioM if requested, runs to completion, and returns records with
-standalone baselines attached so interference factors are immediate.
+.. deprecated::
+    The free functions here (``run_pair``, ``standalone_time``) are thin
+    shims over the declarative API — build an
+    :class:`~repro.experiments.spec.ExperimentSpec` and run it through an
+    :class:`~repro.experiments.engine.ExperimentEngine` instead.  The
+    engine owns an explicit, clearable
+    :class:`~repro.experiments.engine.BaselineCache` (this module's old
+    hidden ``_alone_cache`` global is gone) and can fan campaigns out
+    across processes.
+
+The result shapes (:class:`AppRecord`, :class:`PairResult`) remain the
+canonical per-application records used throughout the system.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from ..apps import IORApp, IORConfig
 from ..core import CalciomRuntime, DecisionRecord
@@ -86,7 +92,12 @@ class PairResult:
 
 def run_single(platform_cfg: PlatformConfig, cfg: IORConfig,
                strategy: Optional[str] = None) -> IORApp:
-    """Run one application alone on a fresh platform; returns the app."""
+    """Run one application alone on a fresh platform; returns the live app.
+
+    This is the low-level primitive (the engine's spec runs return records
+    rather than app objects); keep it for experiments that inspect phase
+    internals directly.
+    """
     platform = Platform(platform_cfg)
     if strategy is not None:
         runtime = CalciomRuntime(platform, strategy=strategy)
@@ -103,24 +114,17 @@ def run_single(platform_cfg: PlatformConfig, cfg: IORConfig,
     return app
 
 
-_alone_cache: Dict[tuple, float] = {}
-
-
 def standalone_time(platform_cfg: PlatformConfig, cfg: IORConfig,
                     use_cache: bool = True) -> float:
     """Measured single-phase duration of ``cfg`` running alone.
 
-    Memoized on (platform, workload) — Δ-graph sweeps reuse the same
-    baseline for every dt.
+    .. deprecated:: use ``ExperimentEngine.baseline``.  This shim hits the
+        default engine's :class:`~repro.experiments.engine.BaselineCache`
+        (clear it with :func:`repro.experiments.engine.clear_baseline_cache`);
+        ``use_cache=False`` bypasses the cache entirely, as before.
     """
-    key = (platform_cfg, replace(cfg, start_time=0.0, name="_alone"))
-    if use_cache and key in _alone_cache:
-        return _alone_cache[key]
-    app = run_single(platform_cfg, key[1])
-    value = app.phases[0].duration
-    if use_cache:
-        _alone_cache[key] = value
-    return value
+    from .engine import default_engine
+    return default_engine().baseline(platform_cfg, cfg, use_cache=use_cache)
 
 
 def run_pair(platform_cfg: PlatformConfig, cfg_a: IORConfig, cfg_b: IORConfig,
@@ -128,39 +132,17 @@ def run_pair(platform_cfg: PlatformConfig, cfg_a: IORConfig, cfg_b: IORConfig,
              measure_alone: bool = True) -> PairResult:
     """Run two applications with B offset by ``dt`` (negative: B first).
 
+    .. deprecated:: build ``ExperimentSpec.pair(...)`` and run it through
+        an :class:`~repro.experiments.engine.ExperimentEngine`.
+
     ``strategy=None`` runs the uncoordinated baseline (no CALCioM layer at
     all); otherwise both applications get CALCioM sessions under the named
     strategy ('interfere' exercises the layer with GO-always decisions,
     isolating pure coordination overhead).
     """
-    if dt >= 0:
-        cfg_a = replace(cfg_a, start_time=0.0)
-        cfg_b = replace(cfg_b, start_time=dt)
-    else:
-        cfg_a = replace(cfg_a, start_time=-dt)
-        cfg_b = replace(cfg_b, start_time=0.0)
-
-    platform = Platform(platform_cfg)
-    runtime: Optional[CalciomRuntime] = None
-    app_a = IORApp(platform, cfg_a)
-    app_b = IORApp(platform, cfg_b)
-    if strategy is not None:
-        runtime = CalciomRuntime(platform, strategy=strategy)
-        for app in (app_a, app_b):
-            session = runtime.session(app.config.name, app.client,
-                                      app.config.nprocs, app.comm)
-            app.guard = session
-            app.adio.guard = session
-    app_a.start()
-    app_b.start()
-    platform.sim.run()
-
-    t_alone_a = standalone_time(platform_cfg, cfg_a) if measure_alone else None
-    t_alone_b = standalone_time(platform_cfg, cfg_b) if measure_alone else None
-    return PairResult(
-        a=AppRecord.from_app(app_a, t_alone_a),
-        b=AppRecord.from_app(app_b, t_alone_b),
-        strategy=strategy,
-        dt=dt,
-        decisions=list(runtime.decision_log) if runtime else [],
-    )
+    from .engine import default_engine
+    from .spec import ExperimentSpec
+    spec = ExperimentSpec.pair(platform_cfg, cfg_a, cfg_b, dt=dt,
+                               strategy=strategy,
+                               measure_alone=measure_alone)
+    return default_engine().run(spec).as_pair()

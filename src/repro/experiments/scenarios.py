@@ -1,0 +1,203 @@
+"""Named experiment scenarios: declare workload mixes, don't hand-wire them.
+
+Benchmarks, examples, and services pick a scenario by name and get back a
+*campaign* — a list of :class:`~repro.experiments.spec.ExperimentSpec`\\ s
+ready for :meth:`ExperimentEngine.run_all
+<repro.experiments.engine.ExperimentEngine.run_all>`.  Every builder
+returns a list (single-run scenarios return a list of one) so callers
+compose uniformly; campaign coordinates (dt, split, policy) ride in each
+spec's ``meta`` for regrouping via ``ResultSet.group_by_meta``.
+
+Register your own with :func:`register_scenario`::
+
+    @register_scenario("my-mix", "two bursty writers on Rennes")
+    def my_mix(dt=0.0, strategy=None):
+        ...
+        return [ExperimentSpec.pair(platform, a, b, dt=dt,
+                                    strategy=strategy)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..mpisim import Contiguous, Strided
+from ..platforms import grid5000_nancy, grid5000_rennes, surveyor
+from .spec import ExperimentSpec, WorkloadSpec
+from .sweeps import split_pairs
+
+__all__ = [
+    "Scenario", "register_scenario", "get_scenario", "build_scenario",
+    "list_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named campaign builder."""
+
+    name: str
+    description: str
+    build: Callable[..., List[ExperimentSpec]]
+
+    def __call__(self, **kwargs) -> List[ExperimentSpec]:
+        return self.build(**kwargs)
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(name: str, description: str = ""):
+    """Decorator: register a campaign builder under ``name``."""
+    def decorator(build: Callable[..., List[ExperimentSpec]]):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = Scenario(name=name, description=description,
+                                   build=build)
+        return build
+    return decorator
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"available: {list_scenarios()}") from None
+
+
+def build_scenario(name: str, **kwargs) -> List[ExperimentSpec]:
+    """Build the named campaign with scenario-specific overrides."""
+    return get_scenario(name).build(**kwargs)
+
+
+def list_scenarios() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios (the paper's experiment setups)
+# ---------------------------------------------------------------------------
+
+@register_scenario(
+    "rennes-big-small",
+    "Quickstart mix: a 600-core simulation against a 24-core analysis "
+    "writer on Grid'5000 Rennes (strided 8 x 2 MB).")
+def rennes_big_small(dt: float = 2.0, strategy: Optional[Any] = None,
+                     big_procs: int = 600, small_procs: int = 24
+                     ) -> List[ExperimentSpec]:
+    pattern = Strided(block_size=2_000_000, nblocks=8)
+    big = WorkloadSpec(name="big-sim", nprocs=big_procs, pattern=pattern,
+                       procs_per_node=24)
+    small = WorkloadSpec(name="small-analysis", nprocs=small_procs,
+                         pattern=pattern, procs_per_node=24)
+    return [ExperimentSpec.pair(grid5000_rennes(), big, small, dt=dt,
+                                strategy=strategy, name="rennes-big-small")]
+
+
+@register_scenario(
+    "fig02-contiguous-pair",
+    "Fig 2: two equal 336-process applications, 16 MB/process contiguous, "
+    "on Grid'5000 Nancy — the canonical Δ-graph.")
+def fig02_contiguous_pair(dts: Sequence[float] = (-14.0, -10.0, -6.0, -2.0,
+                                                  0.0, 2.0, 6.0, 10.0, 14.0),
+                          strategy: Optional[Any] = None,
+                          ) -> List[ExperimentSpec]:
+    pattern = Contiguous(block_size=16_000_000)
+    a = WorkloadSpec(name="A", nprocs=336, pattern=pattern,
+                     procs_per_node=24, grain=None)
+    b = a.with_(name="B")
+    return [ExperimentSpec.pair(grid5000_nancy(), a, b, dt=float(dt),
+                                strategy=strategy, name="fig02")
+            for dt in dts]
+
+
+@register_scenario(
+    "fig06-size-split",
+    "Fig 6: 768 Rennes cores split between A and B (B in {24..384}), "
+    "strided 8 x 2 MB — one Δ-graph per split (meta: split, dt).")
+def fig06_size_split(total_cores: int = 768,
+                     sizes_b: Sequence[int] = (24, 48, 96, 192, 384),
+                     dts: Sequence[float] = (-10.0, -5.0, -2.0, 0.0, 2.0,
+                                             5.0, 10.0, 15.0),
+                     strategy: Optional[Any] = None) -> List[ExperimentSpec]:
+    pattern = Strided(block_size=2_000_000, nblocks=8)
+    base_a = WorkloadSpec(name="A", nprocs=1, pattern=pattern,
+                          procs_per_node=24, grain=None)
+    base_b = base_a.with_(name="B")
+    specs = []
+    for na, nb in split_pairs(total_cores, sizes_b):
+        for dt in dts:
+            specs.append(ExperimentSpec.pair(
+                grid5000_rennes(), base_a.with_(nprocs=na),
+                base_b.with_(nprocs=nb), dt=float(dt), strategy=strategy,
+                name=f"fig06-split{nb}", meta={"split": nb}))
+    return specs
+
+
+@register_scenario(
+    "fig09-policies",
+    "Fig 9: the three policies across (744, 24) and (384, 384) splits on "
+    "Rennes, strided 8 x 1 MB (meta: split, policy, dt).")
+def fig09_policies(splits: Sequence[Tuple[int, int]] = ((744, 24),
+                                                        (384, 384)),
+                   dts: Sequence[float] = (-10.0, -5.0, 0.0, 5.0, 10.0,
+                                           15.0, 20.0),
+                   strategies: Sequence[Optional[str]] = (None, "fcfs",
+                                                          "interrupt"),
+                   ) -> List[ExperimentSpec]:
+    pattern = Strided(block_size=1_000_000, nblocks=8)
+    specs = []
+    for na, nb in splits:
+        a = WorkloadSpec(name="A", nprocs=na, pattern=pattern,
+                         procs_per_node=24, grain="round")
+        b = WorkloadSpec(name="B", nprocs=nb, pattern=pattern,
+                         procs_per_node=24, grain="round")
+        for strategy in strategies:
+            policy = strategy if strategy is not None else "interfere"
+            for dt in dts:
+                specs.append(ExperimentSpec.pair(
+                    grid5000_rennes(), a, b, dt=float(dt), strategy=strategy,
+                    name=f"fig09-{nb}-{policy}",
+                    meta={"split": nb, "policy": policy}))
+    return specs
+
+
+@register_scenario(
+    "surveyor-four-files",
+    "Fig 10/11 workload: on Surveyor, A (2048 cores) writes four 4 MB/proc "
+    "files, B one — the dynamic-decision scenario (meta: dt).")
+def surveyor_four_files(dts: Sequence[float] = (0.0,),
+                        strategy: Optional[Any] = "dynamic",
+                        grain: Optional[str] = "round",
+                        ) -> List[ExperimentSpec]:
+    pattern = Contiguous(block_size=4_000_000)
+    a = WorkloadSpec(name="A", nprocs=2048, pattern=pattern, nfiles=4,
+                     procs_per_node=4, scope="phase", grain=grain)
+    b = a.with_(name="B", nfiles=1)
+    return [ExperimentSpec.pair(surveyor(), a, b, dt=float(dt),
+                                strategy=strategy, name="surveyor-4files")
+            for dt in dts]
+
+
+@register_scenario(
+    "three-way-contention",
+    "Three equal writers saturating a small file system — the N>2 "
+    "queueing scenario (FCFS chains, preemption stacks).")
+def three_way_contention(nprocs: int = 100,
+                         offsets: Sequence[float] = (0.0, 0.1, 0.2),
+                         strategy: Optional[Any] = None,
+                         ) -> List[ExperimentSpec]:
+    from ..platforms import PlatformConfig
+    platform = PlatformConfig(name="three-way", nservers=2,
+                              disk_bandwidth=500.0, per_core_bandwidth=10.0,
+                              stripe_size=1000, latency=1e-6)
+    workloads = tuple(
+        WorkloadSpec(name=name, nprocs=nprocs,
+                     pattern=Contiguous(block_size=1000),
+                     start_time=float(offset), grain="round",
+                     cb_buffer_size=2000)
+        for name, offset in zip("abc", offsets))
+    return [ExperimentSpec(platform=platform, workloads=workloads,
+                           strategy=strategy, name="three-way-contention")]

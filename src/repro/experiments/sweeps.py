@@ -1,14 +1,19 @@
-"""Parameter-sweep helpers shared by Fig 4/6/9 benchmarks."""
+"""Parameter-sweep helpers shared by Fig 4/6/9 benchmarks.
+
+:func:`split_pairs` is the pure helper; the sweep runners are thin shims
+over :class:`~repro.experiments.engine.ExperimentEngine`, which runs the
+whole campaign through one executor fan-out (and one baseline cache).
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps import IORConfig
 from ..platforms import PlatformConfig
-from .deltagraph import DeltaGraph, run_delta_graph
-from .runner import PairResult, run_pair
+from .deltagraph import DeltaGraph
+from .engine import default_engine
+from .runner import PairResult
 
 __all__ = ["split_pairs", "size_split_sweep", "strategy_comparison"]
 
@@ -34,15 +39,11 @@ def size_split_sweep(platform_cfg: PlatformConfig, base_a: IORConfig,
                      strategy: Optional[str] = None) -> Dict[int, DeltaGraph]:
     """One Δ-graph per (N_A, N_B) split — the full Fig 6 experiment.
 
-    ``base_a``/``base_b`` supply everything but the core counts.
+    .. deprecated:: use ``ExperimentEngine.size_split_sweep``.
     """
-    graphs: Dict[int, DeltaGraph] = {}
-    for na, nb in split_pairs(total_cores, sizes_b):
-        cfg_a = replace(base_a, nprocs=na)
-        cfg_b = replace(base_b, nprocs=nb)
-        graphs[nb] = run_delta_graph(platform_cfg, cfg_a, cfg_b, dts,
-                                     strategy=strategy)
-    return graphs
+    return default_engine().size_split_sweep(
+        platform_cfg, base_a, base_b, total_cores, sizes_b, dts,
+        strategy=strategy)
 
 
 def strategy_comparison(platform_cfg: PlatformConfig, cfg_a: IORConfig,
@@ -50,8 +51,9 @@ def strategy_comparison(platform_cfg: PlatformConfig, cfg_a: IORConfig,
                         strategies: Sequence[Optional[str]] = (
                             None, "fcfs", "interrupt", "dynamic",
                         )) -> Dict[Optional[str], PairResult]:
-    """The same pair under each coordination strategy (Fig 9/11 columns)."""
-    return {
-        s: run_pair(platform_cfg, cfg_a, cfg_b, dt=dt, strategy=s)
-        for s in strategies
-    }
+    """The same pair under each coordination strategy (Fig 9/11 columns).
+
+    .. deprecated:: use ``ExperimentEngine.strategy_comparison``.
+    """
+    return default_engine().strategy_comparison(platform_cfg, cfg_a, cfg_b,
+                                                dt, strategies=strategies)
