@@ -14,7 +14,7 @@ occupies the file system far longer).
 """
 
 from repro.experiments import banner, format_table
-from repro.mpisim import ADIOLayer, Communicator, Contiguous, Strided
+from repro.mpisim import ADIOLayer, Communicator, Strided
 from repro.platforms import Platform, grid5000_rennes
 
 #: A small strided job: 24 procs x 8 blocks x 256 KB = 48 MB payload.

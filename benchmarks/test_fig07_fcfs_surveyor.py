@@ -12,7 +12,6 @@ Paper setup: BG/P Surveyor, 4-server PVFS2; two equal applications write
     simply interfering.
 """
 
-import numpy as np
 
 from repro.apps import IORConfig
 from repro.experiments import ExperimentEngine, banner, format_table

@@ -11,7 +11,6 @@ buffering (two-phase I/O) algorithm.
     not impacted, while the write phase is the most impacted".
 """
 
-import numpy as np
 
 from repro.apps import IORConfig
 from repro.experiments import ExperimentEngine, ExperimentSpec, banner, format_table

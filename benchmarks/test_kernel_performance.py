@@ -6,7 +6,6 @@ every experiment's critical path.  pytest-benchmark's statistical timing is
 appropriate here (sub-millisecond deterministic kernels).
 """
 
-import numpy as np
 
 from repro.simcore import FluidLink, FlowNetwork, Simulator
 

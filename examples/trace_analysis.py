@@ -13,9 +13,8 @@ same analysis runs unchanged on a real .swf file if you have one.
 Run:  python examples/trace_analysis.py
 """
 
-import io
 
-from repro.experiments import format_series, format_table, sparkline
+from repro.experiments import format_table, sparkline
 from repro.traces import (
     IntrepidModel, concurrency_distribution, format_swf,
     generate_intrepid_like, job_size_distribution, parse_swf,

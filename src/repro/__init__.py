@@ -17,10 +17,10 @@ stack.  Subpackages, bottom-up:
 
 __version__ = "0.1.0"
 
-from . import apps, core, experiments, mpisim, network, platforms, simcore
-from . import storage, traces
+from . import apps, core, experiments, mpisim, network, perf, platforms
+from . import simcore, storage, traces
 
 __all__ = [
     "simcore", "network", "storage", "mpisim", "core", "apps", "traces",
-    "experiments", "platforms", "__version__",
+    "experiments", "platforms", "perf", "__version__",
 ]

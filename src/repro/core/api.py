@@ -27,7 +27,7 @@ from ..simcore import SimulationError
 from .arbiter import Arbiter
 from .registry import ApplicationRegistry
 from .session import CalciomSession
-from .strategies import Strategy, make_strategy
+from .strategies import Strategy
 
 __all__ = ["CalciomRuntime"]
 

@@ -26,10 +26,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
 
-from ..simcore import Event, SimulationError, Simulator
+from ..simcore import Event, Simulator
 from .metrics import AccessDescriptor
-from .registry import ApplicationRegistry
-from .strategies import Action, Decision, Strategy, make_strategy
+from .strategies import Action, Strategy, make_strategy
 
 __all__ = ["AccessState", "Arbiter", "DecisionRecord"]
 

@@ -22,7 +22,9 @@ from .interference import (
     sum_interference_factors,
 )
 from .multi import MultiResult, run_many
-from .replay import ReplayPlan, plan_replay, replay_trace
+from .replay import (
+    ReplayPlan, plan_replay, replay_result, replay_spec, replay_trace,
+)
 from .reporting import banner, format_series, format_table, sparkline
 from .runner import AppRecord, PairResult, run_pair, run_single, standalone_time
 from .scenarios import (
@@ -53,7 +55,8 @@ __all__ = [
     "efficiency_summary",
     # legacy entry points
     "AppRecord", "PairResult", "run_single", "run_pair", "standalone_time",
-    "MultiResult", "run_many", "ReplayPlan", "plan_replay", "replay_trace",
+    "MultiResult", "run_many", "ReplayPlan", "plan_replay", "replay_spec",
+    "replay_result", "replay_trace",
     # export and reporting
     "delta_graph_csv", "multi_result_csv", "result_set_csv",
     "result_set_json",

@@ -67,6 +67,8 @@ def run_delta_graph(platform_cfg: PlatformConfig, cfg_a: IORConfig,
         independent per-dt simulations out across processes.
     """
     from .engine import default_engine
+    from .runner import _deprecated
+    _deprecated("run_delta_graph()", "ExperimentEngine.delta_graph()")
     return default_engine().delta_graph(platform_cfg, cfg_a, cfg_b, dts,
                                         strategy=strategy,
                                         with_expected=with_expected)

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..apps import IORApp, IORConfig
 from ..core import CalciomRuntime, DecisionRecord
+from ..perf import WallTimer, merge_counts
 from ..platforms import Platform, PlatformConfig
 from .deltagraph import DeltaGraph
 from .expected import expected_delta_curve
@@ -114,32 +115,36 @@ def execute_spec(spec: ExperimentSpec) -> "ExperimentResult":
     Baselines are *not* attached here — the engine owns those, so worker
     processes never touch shared cache state.
     """
-    platform = Platform(spec.platform)
-    runtime: Optional[CalciomRuntime] = None
-    if spec.strategy is not None:
-        runtime = CalciomRuntime(platform, strategy=spec.strategy)
-    apps: List[IORApp] = []
-    for workload in spec.workloads:
-        cfg = workload.to_ior()
-        app = IORApp(platform, cfg)
-        if runtime is not None:
-            session = runtime.session(cfg.name, app.client, cfg.nprocs,
-                                      app.comm)
-            app.guard = session
-            app.adio.guard = session
-        apps.append(app)
-    for app in apps:
-        app.start()
-    platform.sim.run()
+    with WallTimer() as timer:
+        platform = Platform(spec.platform)
+        runtime: Optional[CalciomRuntime] = None
+        if spec.strategy is not None:
+            runtime = CalciomRuntime(platform, strategy=spec.strategy)
+        apps: List[IORApp] = []
+        for workload in spec.workloads:
+            cfg = workload.to_ior()
+            app = IORApp(platform, cfg)
+            if runtime is not None:
+                session = runtime.session(cfg.name, app.client, cfg.nprocs,
+                                          app.comm)
+                app.guard = session
+                app.adio.guard = session
+            apps.append(app)
+        for app in apps:
+            app.start()
+        platform.sim.run()
 
     records = {app.config.name: AppRecord.from_app(app) for app in apps}
     makespan = max(p.end for app in apps for p in app.phases)
+    perf = platform.perf.as_dict()
+    perf["wall_seconds"] = timer.seconds
     return ExperimentResult(
         spec=spec,
         records=records,
         decisions=list(runtime.decision_log) if runtime else [],
         makespan=makespan,
         worker_pid=os.getpid(),
+        perf=perf,
     )
 
 
@@ -208,6 +213,10 @@ class ExperimentResult:
     #: Process that ran the simulation (excluded from equality so parallel
     #: and serial result sets compare equal).
     worker_pid: int = field(default=0, compare=False)
+    #: Kernel instrumentation snapshot for this run — the platform's
+    #: :class:`~repro.perf.PerfCounters` plus ``wall_seconds``.  Excluded
+    #: from equality: wall-clock (and scheduling noise) varies per host.
+    perf: Dict[str, float] = field(default_factory=dict, compare=False)
 
     # -- accessors ---------------------------------------------------------
     @property
@@ -299,6 +308,10 @@ class ResultSet:
     def worker_pids(self) -> List[int]:
         """Distinct simulation process ids (diagnostics for fan-out)."""
         return sorted({r.worker_pid for r in self.results})
+
+    def total_perf(self) -> Dict[str, float]:
+        """Summed perf counters over the campaign (see :mod:`repro.perf`)."""
+        return merge_counts(r.perf for r in self.results)
 
     def delta_graph(self, with_expected: bool = False) -> DeltaGraph:
         """Assemble a Δ-graph from pair results carrying ``meta["dt"]``.

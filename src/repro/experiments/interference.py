@@ -10,7 +10,7 @@ requirements."
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Mapping
 
 __all__ = [
     "interference_factor", "sum_interference_factors", "cpu_seconds_wasted",

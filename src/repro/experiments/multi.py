@@ -20,7 +20,7 @@ from ..apps import IORConfig
 from ..core import DecisionRecord
 from ..platforms import PlatformConfig
 from .engine import default_engine
-from .runner import AppRecord
+from .runner import AppRecord, _deprecated
 from .spec import ExperimentSpec
 
 __all__ = ["MultiResult", "run_many"]
@@ -62,6 +62,8 @@ def run_many(platform_cfg: PlatformConfig, configs: Sequence[IORConfig],
     every application gets a CALCioM session under one shared runtime (and
     arbiter), exactly as on a production machine.
     """
+    _deprecated("run_many()",
+                "ExperimentEngine.run(ExperimentSpec(...)).as_multi()")
     spec = ExperimentSpec(platform=platform_cfg, workloads=tuple(configs),
                           strategy=strategy, measure_alone=measure_alone)
     return default_engine().run(spec).as_multi()

@@ -11,6 +11,14 @@ Scaling: trace jobs run on up to 131072 cores while the simulated file
 systems are calibrated for hundreds; ``core_scale`` divides job sizes
 (bandwidth shares are ratios, so shapes survive scaling), and the phase
 volume/pacing parameters set each job's I/O duty cycle — the paper's µ.
+
+The incremental allocation kernel makes many-application windows (50-500
+concurrent jobs) tractable: :func:`replay_spec` builds the window as a
+single declarative :class:`~repro.experiments.spec.ExperimentSpec`, so
+replays compose with :class:`~repro.experiments.engine.ExperimentEngine`
+campaigns, executors and perf counters like any other experiment — the
+``swf-replay`` scenario in :mod:`repro.experiments.scenarios` is exactly
+that.
 """
 
 from __future__ import annotations
@@ -23,9 +31,12 @@ from ..apps import IORConfig
 from ..mpisim import Contiguous
 from ..platforms import PlatformConfig
 from ..traces import SWFTrace
-from .multi import MultiResult, run_many
+from .engine import ExperimentResult, default_engine
+from .multi import MultiResult
+from .spec import ExperimentSpec, WorkloadSpec
 
-__all__ = ["ReplayPlan", "plan_replay", "replay_trace"]
+__all__ = ["ReplayPlan", "plan_replay", "replay_spec", "replay_trace",
+           "replay_result"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +100,35 @@ def plan_replay(trace: SWFTrace, window: Tuple[float, float],
                       core_scale=core_scale)
 
 
+def replay_spec(platform_cfg: PlatformConfig, trace: SWFTrace,
+                window: Tuple[float, float],
+                strategy: Optional[str] = None,
+                core_scale: int = 256,
+                bytes_per_process: int = 16_000_000,
+                phases_per_job: int = 4,
+                max_jobs: Optional[int] = None,
+                measure_alone: bool = True,
+                name: str = "trace-replay") -> ExperimentSpec:
+    """Plan a trace window and package it as one declarative spec.
+
+    The returned spec carries ``meta["napps"]``/``meta["window"]`` so
+    campaign fan-outs can be regrouped by window coordinates.
+    """
+    plan = plan_replay(trace, window, core_scale=core_scale,
+                       bytes_per_process=bytes_per_process,
+                       phases_per_job=phases_per_job, max_jobs=max_jobs)
+    if not plan.configs:
+        raise ValueError("no jobs active in the requested window")
+    workloads = tuple(WorkloadSpec.from_ior(cfg) for cfg in plan.configs)
+    return ExperimentSpec(
+        platform=platform_cfg, workloads=workloads, strategy=strategy,
+        name=name, measure_alone=measure_alone,
+        meta={"napps": len(workloads),
+              "window": [float(window[0]), float(window[1])],
+              "core_scale": core_scale},
+    )
+
+
 def replay_trace(platform_cfg: PlatformConfig, trace: SWFTrace,
                  window: Tuple[float, float],
                  strategy: Optional[str] = None,
@@ -98,10 +138,18 @@ def replay_trace(platform_cfg: PlatformConfig, trace: SWFTrace,
                  max_jobs: Optional[int] = None,
                  measure_alone: bool = True) -> MultiResult:
     """Plan and run a trace window under one coordination strategy."""
-    plan = plan_replay(trace, window, core_scale=core_scale,
+    spec = replay_spec(platform_cfg, trace, window, strategy=strategy,
+                       core_scale=core_scale,
                        bytes_per_process=bytes_per_process,
-                       phases_per_job=phases_per_job, max_jobs=max_jobs)
-    if not plan.configs:
-        raise ValueError("no jobs active in the requested window")
-    return run_many(platform_cfg, plan.configs, strategy=strategy,
-                    measure_alone=measure_alone)
+                       phases_per_job=phases_per_job, max_jobs=max_jobs,
+                       measure_alone=measure_alone)
+    return default_engine().run(spec).as_multi()
+
+
+def replay_result(platform_cfg: PlatformConfig, trace: SWFTrace,
+                  window: Tuple[float, float],
+                  **kwargs) -> ExperimentResult:
+    """Like :func:`replay_trace` but returning the uniform engine result
+    (with perf counters attached)."""
+    spec = replay_spec(platform_cfg, trace, window, **kwargs)
+    return default_engine().run(spec)

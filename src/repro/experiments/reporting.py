@@ -8,7 +8,7 @@ for quick shape reading in terminal output.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

@@ -16,6 +16,7 @@ canonical per-application records used throughout the system.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -25,6 +26,15 @@ from ..platforms import Platform, PlatformConfig
 
 __all__ = ["AppRecord", "PairResult", "run_single", "run_pair",
            "standalone_time"]
+
+
+def _deprecated(old: str, new: str) -> None:
+    """Emit the legacy-shim deprecation warning (PR-1 migration)."""
+    warnings.warn(
+        f"{old} is deprecated; build an ExperimentSpec and use {new} "
+        "(see repro.experiments.spec / repro.experiments.engine)",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
 @dataclass
@@ -124,6 +134,7 @@ def standalone_time(platform_cfg: PlatformConfig, cfg: IORConfig,
         ``use_cache=False`` bypasses the cache entirely, as before.
     """
     from .engine import default_engine
+    _deprecated("standalone_time()", "ExperimentEngine.baseline()")
     return default_engine().baseline(platform_cfg, cfg, use_cache=use_cache)
 
 
@@ -142,6 +153,8 @@ def run_pair(platform_cfg: PlatformConfig, cfg_a: IORConfig, cfg_b: IORConfig,
     """
     from .engine import default_engine
     from .spec import ExperimentSpec
+    _deprecated("run_pair()",
+                "ExperimentEngine.run(ExperimentSpec.pair(...)).as_pair()")
     spec = ExperimentSpec.pair(platform_cfg, cfg_a, cfg_b, dt=dt,
                                strategy=strategy,
                                measure_alone=measure_alone)

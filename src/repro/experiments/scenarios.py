@@ -23,13 +23,18 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..mpisim import Contiguous, Strided
-from ..platforms import grid5000_nancy, grid5000_rennes, surveyor
+from ..platforms import (
+    PlatformConfig, grid5000_nancy, grid5000_rennes, surveyor,
+)
+from ..simcore import ensure_rng
+from ..traces import IntrepidModel, generate_intrepid_like
+from .replay import replay_spec
 from .spec import ExperimentSpec, WorkloadSpec
 from .sweeps import split_pairs
 
 __all__ = [
     "Scenario", "register_scenario", "get_scenario", "build_scenario",
-    "list_scenarios",
+    "list_scenarios", "many_writers_platform",
 ]
 
 
@@ -201,3 +206,102 @@ def three_way_contention(nprocs: int = 100,
         for name, offset in zip("abc", offsets))
     return [ExperimentSpec(platform=platform, workloads=workloads,
                            strategy=strategy, name="three-way-contention")]
+
+
+# ---------------------------------------------------------------------------
+# Large-scale trace scenarios (the incremental-kernel workloads)
+# ---------------------------------------------------------------------------
+
+def many_writers_platform(nservers: int = 32,
+                          allocator: str = "incremental") -> PlatformConfig:
+    """A wide machine for many-application runs: per-server components.
+
+    ``pool_servers=False`` keeps every data server a distinct endpoint, and
+    the huge stripe unit places each file wholly on one (path-hashed)
+    server — so applications writing different files form *disjoint*
+    link/flow components, the regime the incremental allocator exploits.
+    """
+    return PlatformConfig(
+        name=f"many-writers-{nservers}s",
+        nservers=nservers,
+        disk_bandwidth=100e6,
+        per_core_bandwidth=10e6,
+        mpi_per_core_bandwidth=100e6,
+        stripe_size=1 << 30,
+        latency=1e-5,
+        pool_servers=False,
+        allocator=allocator,
+        description=f"{nservers} independent servers, one file per server",
+    )
+
+
+@register_scenario(
+    "many-writers",
+    "Scale scenario: N staggered periodic writers (50-500) spread over a "
+    "wide multi-server machine — the incremental kernel's home turf "
+    "(meta: napps).")
+def many_writers(napps: int = 200, nservers: int = 32,
+                 strategy: Optional[Any] = None, phases: int = 3,
+                 bytes_per_process: int = 4_000_000,
+                 spread: float = 60.0, period: float = 30.0,
+                 seed: int = 7, measure_alone: bool = False,
+                 allocator: str = "incremental") -> List[ExperimentSpec]:
+    """Synthetic trace-flavoured mix: ``napps`` writers with random sizes
+    (4-32 processes), staggered starts over ``spread`` seconds, ``phases``
+    periodic I/O phases each.  Runs under any coordination strategy."""
+    if napps < 1:
+        raise ValueError(f"napps must be >= 1, got {napps}")
+    rng = ensure_rng(seed)
+    platform = many_writers_platform(nservers, allocator=allocator)
+    workloads = []
+    for i in range(napps):
+        nprocs = int(rng.choice([4, 8, 16, 32]))
+        workloads.append(WorkloadSpec(
+            name=f"app{i:03d}",
+            nprocs=nprocs,
+            pattern=Contiguous(block_size=bytes_per_process),
+            iterations=phases,
+            period=float(period),
+            start_time=float(rng.uniform(0.0, spread)),
+            grain="round",
+        ))
+    return [ExperimentSpec(
+        platform=platform, workloads=tuple(workloads), strategy=strategy,
+        name="many-writers", measure_alone=measure_alone,
+        meta={"napps": napps, "scenario": "many-writers"},
+    )]
+
+
+@register_scenario(
+    "swf-replay",
+    "Trace-driven scale scenario: a synthetic Intrepid-like SWF window "
+    "replayed as 50-500 concurrent periodic writers under any strategy "
+    "(meta: napps, window).")
+def swf_replay(napps: int = 100, hours: float = 6.0,
+               strategy: Optional[Any] = None, core_scale: int = 512,
+               bytes_per_process: int = 4_000_000, phases_per_job: int = 2,
+               seed: int = 2014, measure_alone: bool = False,
+               platform: Optional[PlatformConfig] = None,
+               ) -> List[ExperimentSpec]:
+    """Generate a dense synthetic SWF trace, take an ``hours``-long window
+    and replay the first ``napps`` resident jobs (see
+    :func:`repro.experiments.replay.replay_spec`)."""
+    if napps < 1:
+        raise ValueError(f"napps must be >= 1, got {napps}")
+    if hours <= 0:
+        raise ValueError(f"hours must be > 0, got {hours}")
+    # Arrival rate sized so the window holds ~1.3x the requested job count
+    # (dispatch and validity filtering thin the population a little).
+    rate = max(14.0, 1.3 * napps / hours)
+    model = IntrepidModel(duration_days=max(1.0, 2.0 * hours / 24.0),
+                          jobs_per_hour=rate)
+    trace = generate_intrepid_like(model=model, seed=seed)
+    spec = replay_spec(
+        platform if platform is not None else grid5000_rennes(),
+        trace, window=(0.0, hours * 3600.0), strategy=strategy,
+        core_scale=core_scale, bytes_per_process=bytes_per_process,
+        phases_per_job=phases_per_job, max_jobs=napps,
+        measure_alone=measure_alone, name="swf-replay",
+    )
+    spec.meta["scenario"] = "swf-replay"
+    return [spec]

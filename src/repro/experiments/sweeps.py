@@ -13,7 +13,7 @@ from ..apps import IORConfig
 from ..platforms import PlatformConfig
 from .deltagraph import DeltaGraph
 from .engine import default_engine
-from .runner import PairResult
+from .runner import PairResult, _deprecated
 
 __all__ = ["split_pairs", "size_split_sweep", "strategy_comparison"]
 
@@ -41,6 +41,7 @@ def size_split_sweep(platform_cfg: PlatformConfig, base_a: IORConfig,
 
     .. deprecated:: use ``ExperimentEngine.size_split_sweep``.
     """
+    _deprecated("size_split_sweep()", "ExperimentEngine.size_split_sweep()")
     return default_engine().size_split_sweep(
         platform_cfg, base_a, base_b, total_cores, sizes_b, dts,
         strategy=strategy)
@@ -55,5 +56,7 @@ def strategy_comparison(platform_cfg: PlatformConfig, cfg_a: IORConfig,
 
     .. deprecated:: use ``ExperimentEngine.strategy_comparison``.
     """
+    _deprecated("strategy_comparison()",
+                "ExperimentEngine.strategy_comparison()")
     return default_engine().strategy_comparison(platform_cfg, cfg_a, cfg_b,
                                                 dt, strategies=strategies)

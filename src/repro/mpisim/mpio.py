@@ -11,8 +11,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..simcore import SimulationError
-from .adio import ADIOLayer, WriteStats
-from .datatypes import AccessPattern, Contiguous
+from .adio import ADIOLayer
+from .datatypes import AccessPattern
 
 __all__ = ["MPIIOFile"]
 

@@ -8,7 +8,7 @@ experiment debugging ("who was on the wire when B stalled?").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 from ..simcore import FluidLink, FlowNetwork, Simulator, TimeSeries
 
@@ -41,7 +41,7 @@ class LinkMonitor:
     def watch(self, link: FluidLink) -> TimeSeries:
         """Start recording ``link``; returns its series."""
         if link not in self.series:
-            ts = TimeSeries(name=link.name)
+            ts = TimeSeries(name=link.name, perf=self.net.perf)
             ts.record(self.sim.now, 0.0)
             self.series[link] = ts
         return self.series[link]

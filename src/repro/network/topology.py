@@ -166,7 +166,7 @@ class Fabric:
         serialization on the narrowest path link.
         """
         links = self.path_links(src, dst)
-        bw = min((l.capacity for l in links), default=math.inf)
+        bw = min((link.capacity for link in links), default=math.inf)
         ser = nbytes / bw if math.isfinite(bw) and bw > 0 else 0.0
         return self.latency + ser
 

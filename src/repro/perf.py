@@ -1,0 +1,118 @@
+"""Performance instrumentation for the simulation kernel and experiments.
+
+The incremental allocation kernel's whole point is doing *less work per
+event*; this module makes that observable.  A :class:`PerfCounters` bag is
+created per :class:`~repro.platforms.Platform` and threaded through the
+simulator, the flow network, the storage servers, the parallel file system
+and the monitors, which bump named counters as they work:
+
+=========================  ====================================================
+counter                    meaning
+=========================  ====================================================
+``events_processed``       simulator events popped off the queue
+``reallocations``          allocator invocations (any trigger)
+``rate_recomputations``    progressive-filling runs (per dirty component)
+``flows_touched``          flows re-priced across all recomputations
+``components_refilled``    dirty components walked (incremental mode only)
+``flow_starts``            flows started
+``flow_completions``       flows that delivered their last byte
+``wakes``                  completion-horizon wakeups handled
+``io_requests``            requests admitted by storage servers
+``pfs_writes``/``reads``   file-system level operations
+``timeseries_samples``     monitor samples recorded
+``wall_seconds``           host wall-clock of the run (attached by the engine)
+=========================  ====================================================
+
+Derived ratios are what you read: ``flows_touched / rate_recomputations``
+is the mean dirty-component size (≈ total active flows under the global
+allocator, ≈ per-bottleneck flow count under the incremental one), and
+``rate_recomputations / events_processed`` shows how much of the event
+stream actually re-priced bandwidth.
+
+:class:`~repro.experiments.engine.ExperimentEngine` snapshots the
+platform's counters (plus wall-clock) into every
+:class:`~repro.experiments.engine.ExperimentResult.perf`, and
+``benchmarks/test_scale_kernel.py`` persists them to
+``benchmarks/results/BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+__all__ = ["PerfCounters", "WallTimer", "merge_counts"]
+
+
+class PerfCounters:
+    """A bag of named monotonic counters.
+
+    Deliberately tiny: ``bump`` is called on the simulator's hot path, so
+    there is no per-counter object, no locking, no timestamps — just a dict
+    of numbers.  All values are plain ints/floats and therefore
+    JSON-serializable as-is.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def bump(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (creating it at zero)."""
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + n
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never bumped)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Sorted snapshot of all counters."""
+        return dict(sorted(self._counts.items()))
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Add another snapshot's counts into this bag."""
+        for name, value in other.items():
+            self.bump(name, value)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
+        return f"<PerfCounters {inner}>"
+
+
+class WallTimer:
+    """Context manager measuring host wall-clock seconds.
+
+    >>> with WallTimer() as timer:
+    ...     pass
+    >>> timer.seconds >= 0
+    True
+    """
+
+    __slots__ = ("_start", "seconds")
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def merge_counts(snapshots: Iterable[Mapping[str, float]]) -> Dict[str, float]:
+    """Sum a sequence of counter snapshots (e.g. across a campaign)."""
+    merged = PerfCounters()
+    for snap in snapshots:
+        merged.merge(snap)
+    return merged.as_dict()

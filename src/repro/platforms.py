@@ -25,10 +25,11 @@ never publishes raw hardware bandwidths, so the presets are fitted to the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from .network import Fabric
+from .perf import PerfCounters
 from .simcore import FlowNetwork, SimulationError, Simulator
 from .storage import Disk, ParallelFileSystem, StorageServer
 
@@ -65,6 +66,11 @@ class PlatformConfig:
     #: Disable for experiments that need per-server behaviour (scheduler
     #: ablations, non-uniform access).
     pool_servers: bool = True
+    #: Bandwidth allocator: ``"incremental"`` (default — dirty-component
+    #: reallocation, see :mod:`repro.simcore.fairshare`) or ``"global"``
+    #: (the retained reference oracle that re-prices every flow on every
+    #: change; identical rates, slower).
+    allocator: str = "incremental"
     description: str = ""
 
     @property
@@ -95,9 +101,17 @@ class Platform:
     """An instantiated machine: simulator + fabric + PFS + client registry."""
 
     def __init__(self, config: PlatformConfig):
+        if config.allocator not in ("incremental", "global"):
+            raise SimulationError(
+                f"allocator must be 'incremental' or 'global', "
+                f"got {config.allocator!r}"
+            )
         self.config = config
-        self.sim = Simulator()
-        self.net = FlowNetwork(self.sim)
+        self.perf = PerfCounters()
+        self.sim = Simulator(perf=self.perf)
+        self.net = FlowNetwork(self.sim,
+                               incremental=(config.allocator == "incremental"),
+                               perf=self.perf)
         self.fabric = Fabric(self.sim, self.net, latency=config.latency)
         self.fabric.add_switch("switch")
         self.servers = []

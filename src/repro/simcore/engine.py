@@ -35,11 +35,14 @@ class Simulator:
     3.0
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, perf=None):
         self._now = float(start_time)
         self._queue: list = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Optional :class:`~repro.perf.PerfCounters`; when set, every
+        #: processed event bumps ``events_processed``.
+        self.perf = perf
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -108,6 +111,8 @@ class Simulator:
         except IndexError:
             raise SimulationError("step() on an empty event queue") from None
         self._now = when
+        if self.perf is not None:
+            self.perf.bump("events_processed")
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)

@@ -22,12 +22,44 @@ Why fluid flows?  Two reasons, both load-bearing for the paper:
    link capacity) changes, so simulating 768-process I/O phases costs
    microseconds — fast enough for the hundreds of Δ-graph points the
    benchmark harness sweeps.
+
+Incremental allocation
+----------------------
+Point 2 only pays off if a change re-prices *what it touches*.  Max-min
+rates decompose over the connected components of the bipartite graph whose
+vertices are links and (unpaused) flows, with an edge wherever a flow
+crosses a link: progressive filling inside one component never reads or
+writes state of another.  The network exploits that:
+
+* every link keeps an index of the unpaused flows crossing it, and the flow
+  registry is a dict (O(1) removal, insertion-ordered);
+* a change (start / pause / resume / cancel / completion / capacity) marks
+  the links it touches *dirty*; reallocation walks the dirty connected
+  components only and re-runs progressive filling there, while untouched
+  components keep their rates and their scheduled completions;
+* flow progress is integrated lazily per flow (``remaining`` is exact as of
+  the flow's own sync point), so an event in one component costs nothing in
+  another;
+* completions are driven by a single heap of per-flow completion horizons
+  with lazy invalidation (a refill bumps the generation of every flow it
+  touches), replacing the old whole-network horizon scan.
+
+Within a component the filling iterates flows in registration order —
+exactly the order the previous global allocator used — so the incremental
+allocator reproduces the global allocator's rates bit for bit.  The global
+path is retained as a reference oracle (``FlowNetwork(sim,
+incremental=False)``, or ``PlatformConfig(allocator="global")``) and the
+test suite cross-checks the two on randomized topologies.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from itertools import count
+from typing import (
+    Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple,
+)
 
 from .engine import Simulator
 from .errors import SimulationError
@@ -51,7 +83,7 @@ class FluidLink:
         Label used in reprs and monitoring output.
     """
 
-    __slots__ = ("name", "_capacity", "network")
+    __slots__ = ("name", "_capacity", "network", "_active")
 
     def __init__(self, capacity: float, name: str = "link"):
         if capacity <= 0:
@@ -59,22 +91,37 @@ class FluidLink:
         self._capacity = float(capacity)
         self.name = name
         self.network: Optional["FlowNetwork"] = None
+        #: Unpaused, unfinished flows crossing this link (insertion-ordered).
+        self._active: Dict["FluidFlow", None] = {}
 
     @property
     def capacity(self) -> float:
         return self._capacity
 
     def set_capacity(self, capacity: float) -> None:
-        """Change capacity; reallocates all flows at the current sim time."""
+        """Change capacity; reallocates the link's component at the current time.
+
+        Progress accrued under the old capacity is integrated *before* the
+        new rates take effect (integrate-then-change): the global path
+        advances all flows eagerly, the incremental path syncs each touched
+        flow against its pre-change rate during the refill.
+        """
         if capacity <= 0:
             raise SimulationError(f"link capacity must be positive, got {capacity}")
         if capacity == self._capacity:
             return
-        if self.network is not None:
-            self.network._advance()
+        net = self.network
+        if net is None:
+            self._capacity = float(capacity)
+            return
+        if not net.incremental:
+            net._advance()
+            self._capacity = float(capacity)
+            net._reallocate_global()
+            return
         self._capacity = float(capacity)
-        if self.network is not None:
-            self.network._reallocate()
+        net._mark_dirty((self,))
+        net._reallocate()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FluidLink {self.name!r} cap={self._capacity:.4g} B/s>"
@@ -87,7 +134,8 @@ class FluidFlow:
     ----------
     done:
         Event that triggers (with this flow as value) when the last byte is
-        delivered.
+        delivered, or with ``None`` if the flow is cancelled without an
+        exception (see :meth:`FlowNetwork.cancel_flow`).
     weight:
         Max-min weight.  An application writing from ``N`` processes can be
         modelled as one flow of weight ``N``, which yields the same
@@ -99,6 +147,7 @@ class FluidFlow:
     __slots__ = (
         "size", "remaining", "weight", "cap", "path", "done", "paused",
         "start_time", "finish_time", "rate", "label",
+        "_seq", "_synced", "_gen",
     )
 
     def __init__(self, size: float, path: Sequence[FluidLink], weight: float,
@@ -114,6 +163,9 @@ class FluidFlow:
         self.finish_time: float = math.nan
         self.rate: float = 0.0
         self.label = label
+        self._seq = -1           #: registration order within the network
+        self._synced = 0.0       #: time ``remaining`` was last integrated to
+        self._gen = 0            #: bumped on every rate change (heap validity)
 
     @property
     def elapsed(self) -> float:
@@ -136,15 +188,38 @@ class FlowNetwork:
     Observers registered with :meth:`add_observer` are called as
     ``fn(time, flows)`` after every rate reallocation — the write-back cache
     model uses this to watch the ingest rate at each storage server.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving this network.
+    incremental:
+        ``True`` (default): dirty-component reallocation with the per-flow
+        completion heap.  ``False``: the original global allocator — kept as
+        a reference oracle; it produces identical rates, just slower.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters`; when given the network
+        bumps ``flow_starts``, ``flow_completions``, ``reallocations``,
+        ``rate_recomputations``, ``flows_touched``, ``components_refilled``
+        and ``wakes``.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, incremental: bool = True,
+                 perf=None):
         self.sim = sim
-        self._flows: List[FluidFlow] = []
+        self.incremental = bool(incremental)
+        self.perf = perf
+        self._flows: Dict[FluidFlow, None] = {}
+        self._seq = count()
         self._last_time = sim.now
         self._wake_generation = 0
         self._observers: List[Callable[[float, List[FluidFlow]], None]] = []
         self._in_reallocate = False
+        # Incremental-mode state: dirty links awaiting a component refill,
+        # and the (time, seq, gen, flow) completion-horizon heap.
+        self._dirty: Dict[FluidLink, None] = {}
+        self._heap: List[Tuple[float, int, int, FluidFlow]] = []
+        self._wake_at: Optional[float] = None
 
     # -- public API ----------------------------------------------------------
     def start_flow(self, size: float, path: Iterable[FluidLink],
@@ -170,13 +245,28 @@ class FlowNetwork:
         done = self.sim.event()
         flow = FluidFlow(size, path, weight, cap, done, label)
         flow.start_time = self.sim.now
+        flow._synced = self.sim.now
+        flow._seq = next(self._seq)
+        if self.perf is not None:
+            self.perf.bump("flow_starts")
         if size <= _EPS_BYTES:
             flow.remaining = 0.0
             flow.finish_time = self.sim.now
+            if self.perf is not None:
+                self.perf.bump("flow_completions")
             done.succeed(flow)
             return flow
-        self._advance()
-        self._flows.append(flow)
+        if not self.incremental:
+            self._advance()
+            self._flows[flow] = None
+            for link in flow.path:
+                link._active[flow] = None
+            self._reallocate_global()
+            return flow
+        self._flows[flow] = None
+        for link in flow.path:
+            link._active[flow] = None
+        self._mark_dirty(flow.path)
         self._reallocate()
         return flow
 
@@ -184,26 +274,83 @@ class FlowNetwork:
         """Freeze a flow's progress (it keeps its remaining bytes)."""
         if flow.paused or flow.remaining <= 0:
             return
-        self._advance()
+        if flow not in self._flows:  # cancelled or never registered
+            flow.paused = True
+            return
+        if not self.incremental:
+            self._advance()
+            flow.paused = True
+            for link in flow.path:
+                link._active.pop(flow, None)
+            self._reallocate_global()
+            return
+        self._sync_flow(flow, self.sim.now)
+        if flow.remaining <= _EPS_BYTES:
+            # The flow delivered its last byte by now (pause raced its
+            # completion wake): it is done, not paused — exactly what the
+            # global path's completion sweep would conclude.
+            self._finish_flow(flow, self.sim.now)
+            self._mark_dirty(flow.path)
+            self._reallocate()
+            return
         flow.paused = True
+        flow.rate = 0.0
+        flow._gen += 1
+        for link in flow.path:
+            link._active.pop(flow, None)
+        self._mark_dirty(flow.path)
         self._reallocate()
 
     def resume_flow(self, flow: FluidFlow) -> None:
         """Resume a paused flow."""
         if not flow.paused:
             return
-        self._advance()
+        if flow not in self._flows:  # cancelled while paused
+            flow.paused = False
+            return
+        if not self.incremental:
+            self._advance()
+            flow.paused = False
+            for link in flow.path:
+                link._active[flow] = None
+            self._reallocate_global()
+            return
         flow.paused = False
+        flow._synced = self.sim.now
+        for link in flow.path:
+            link._active[flow] = None
+        self._mark_dirty(flow.path)
         self._reallocate()
 
     def cancel_flow(self, flow: FluidFlow, exc: Optional[BaseException] = None) -> None:
-        """Abort a flow; its ``done`` event fails with ``exc`` (or is dropped)."""
+        """Abort a flow, releasing its bandwidth.
+
+        The flow's ``done`` event *fails* with ``exc`` when one is given;
+        otherwise it **succeeds with value ``None``** so that processes
+        yielding on the event are released rather than parked forever (the
+        ``None`` value — instead of the flow — is how waiters distinguish
+        cancellation from completion).  ``finish_time`` stays ``nan``.
+        """
         if flow not in self._flows:
             return
-        self._advance()
-        self._flows.remove(flow)
-        if exc is not None and not flow.done.triggered:
-            flow.done.fail(exc)
+        if not self.incremental:
+            self._advance()
+        else:
+            self._sync_flow(flow, self.sim.now)
+        del self._flows[flow]
+        for link in flow.path:
+            link._active.pop(flow, None)
+        flow._gen += 1
+        flow.rate = 0.0
+        if not flow.done.triggered:
+            if exc is not None:
+                flow.done.fail(exc)
+            else:
+                flow.done.succeed(None)
+        if not self.incremental:
+            self._reallocate_global()
+            return
+        self._mark_dirty(flow.path)
         self._reallocate()
 
     def add_observer(self, fn: Callable[[float, List[FluidFlow]], None]) -> None:
@@ -217,57 +364,85 @@ class FlowNetwork:
 
     def link_rate(self, link: FluidLink) -> float:
         """Aggregate current rate through ``link`` (bytes/s)."""
-        return sum(f.rate for f in self._flows
-                   if not f.paused and link in f.path)
+        return sum(f.rate for f in link._active)
 
-    # -- allocation ---------------------------------------------------------
+    def link_flows(self, link: FluidLink) -> List[FluidFlow]:
+        """The unpaused flows currently crossing ``link``."""
+        return list(link._active)
+
+    # -- progress integration ------------------------------------------------
     def _advance(self) -> None:
-        """Integrate flow progress from the last allocation point to now."""
+        """Integrate every flow's progress up to now.
+
+        The global path integrates everything from the shared ``_last_time``
+        checkpoint; on an incremental network each flow carries its own sync
+        point, so integrate per flow (a shared-dt pass would double-count
+        progress for flows already synced later than ``_last_time``).
+        """
         now = self.sim.now
+        if self.incremental:
+            for f in self._flows:
+                self._sync_flow(f, now)
+            self._last_time = now
+            return
         dt = now - self._last_time
         if dt > 0:
             for f in self._flows:
                 if not f.paused and f.rate > 0:
                     f.remaining = max(0.0, f.remaining - f.rate * dt)
         self._last_time = now
-
-    def _compute_rates(self) -> None:
-        """Weighted max-min (progressive filling) over links and flow caps."""
-        active = [f for f in self._flows if not f.paused]
         for f in self._flows:
-            f.rate = 0.0
-        if not active:
-            return
+            f._synced = now
+
+    def _sync_flow(self, f: FluidFlow, now: float) -> None:
+        """Integrate one flow's progress from its own sync point to ``now``."""
+        dt = now - f._synced
+        if dt > 0 and not f.paused and f.rate > 0:
+            f.remaining = max(0.0, f.remaining - f.rate * dt)
+        f._synced = now
+
+    # -- progressive filling (shared by both modes) --------------------------
+    def _fill_rates(self, flows: List[FluidFlow]) -> None:
+        """Weighted max-min (progressive filling) over ``flows``.
+
+        ``flows`` must be unpaused and ordered by registration; every flow
+        is assigned a fresh rate.  Only links crossed by these flows are
+        read or written, which is what makes per-component refills exact.
+        """
+        if self.perf is not None:
+            self.perf.bump("rate_recomputations")
+            self.perf.bump("flows_touched", len(flows))
         # Residual capacity per link; virtual per-flow links model rate caps.
         residual: Dict[FluidLink, float] = {}
         link_flows: Dict[FluidLink, List[FluidFlow]] = {}
-        for f in active:
+        for f in flows:
             for link in f.path:
                 if link not in residual:
                     residual[link] = link.capacity
                     link_flows[link] = []
                 link_flows[link].append(f)
-        unfixed = set(active)
+        unfixed: Set[FluidFlow] = set(flows)
         while unfixed:
             # Most-constrained bottleneck: min rate-per-unit-weight over
             # links (and over flow caps, treated as private links).
             best_share = math.inf
             best_link: Optional[FluidLink] = None
             best_flow: Optional[FluidFlow] = None
-            for link, flows in link_flows.items():
+            for link, lflows in link_flows.items():
                 if math.isinf(residual[link]):
                     continue
-                w = sum(f.weight for f in flows if f in unfixed)
+                w = sum(f.weight for f in lflows if f in unfixed)
                 if w <= 0:
                     continue
                 share = residual[link] / w
                 if share < best_share:
                     best_share, best_link, best_flow = share, link, None
-            for f in unfixed:
-                if f.cap is not None:
-                    share = f.cap / f.weight
-                    if share < best_share:
-                        best_share, best_link, best_flow = share, None, f
+            for f in flows:
+                if f.cap is None or f not in unfixed:
+                    continue
+                share = f.cap / f.weight
+                if share < best_share:
+                    best_share, best_link, best_flow = share, None, f
             if best_link is None and best_flow is None:
                 # No finite constraint anywhere: unconstrained flows finish
                 # "instantly"; give them an effectively infinite rate.
@@ -284,7 +459,17 @@ class FlowNetwork:
                 for link in f.path:
                     residual[link] = max(0.0, residual[link] - f.rate)
 
-    def _reallocate(self) -> None:
+    def _compute_rates(self) -> None:
+        """Recompute every flow's rate from scratch (the global oracle)."""
+        active = [f for f in self._flows if not f.paused]
+        for f in self._flows:
+            f.rate = 0.0
+        if not active:
+            return
+        self._fill_rates(active)
+
+    # -- global (oracle) reallocation ----------------------------------------
+    def _reallocate_global(self) -> None:
         """Recompute rates, schedule the next completion, notify observers."""
         # Guard against observer callbacks (e.g. the cache model changing a
         # link capacity) re-entering allocation: run them after we finish,
@@ -292,6 +477,8 @@ class FlowNetwork:
         if self._in_reallocate:
             return
         self._in_reallocate = True
+        if self.perf is not None:
+            self.perf.bump("reallocations")
         try:
             while True:
                 self._complete_finished()
@@ -301,10 +488,10 @@ class FlowNetwork:
                     break
                 observed_change = False
                 for fn in self._observers:
-                    fn(self.sim.now, self._flows)
+                    fn(self.sim.now, list(self._flows))
                 # Observers may have changed capacities; FluidLink.set_capacity
-                # calls back into _reallocate which no-ops under the guard, so
-                # detect staleness by re-deriving rates and comparing.
+                # calls back into _reallocate_global which no-ops under the
+                # guard, so detect staleness by re-deriving rates and comparing.
                 before = [(f, f.rate) for f in self._flows]
                 self._compute_rates()
                 for f, r in before:
@@ -320,10 +507,15 @@ class FlowNetwork:
         now = self.sim.now
         finished = [f for f in self._flows if f.remaining <= _EPS_BYTES]
         for f in finished:
-            self._flows.remove(f)
+            del self._flows[f]
+            for link in f.path:
+                link._active.pop(f, None)
+            f._gen += 1
             f.remaining = 0.0
             f.rate = 0.0
             f.finish_time = now
+            if self.perf is not None:
+                self.perf.bump("flow_completions")
             f.done.succeed(f)
 
     def _schedule_wake(self) -> None:
@@ -350,7 +542,164 @@ class FlowNetwork:
         def _wake() -> None:
             if gen != self._wake_generation:
                 return  # superseded by a later reallocation
+            if self.perf is not None:
+                self.perf.bump("wakes")
             self._advance()
-            self._reallocate()
+            self._reallocate_global()
 
         self.sim.call_at(target, _wake)
+
+    # -- incremental reallocation --------------------------------------------
+    def _mark_dirty(self, links: Iterable[FluidLink]) -> None:
+        for link in links:
+            self._dirty[link] = None
+
+    def _components(self, seeds: List[FluidLink]) -> List[List[FluidFlow]]:
+        """Connected components of the link/flow graph reachable from seeds.
+
+        Each component is returned as its flows sorted by registration
+        order, which keeps the filling's bottleneck tie-breaks and residual
+        arithmetic identical to the global allocator's.
+        """
+        visited: Set[FluidLink] = set()
+        comps: List[List[FluidFlow]] = []
+        for seed in seeds:
+            if seed in visited:
+                continue
+            visited.add(seed)
+            stack = [seed]
+            flows: Dict[FluidFlow, None] = {}
+            while stack:
+                link = stack.pop()
+                for f in link._active:
+                    if f in flows:
+                        continue
+                    flows[f] = None
+                    for other in f.path:
+                        if other not in visited:
+                            visited.add(other)
+                            stack.append(other)
+            if flows:
+                comps.append(sorted(flows, key=lambda f: f._seq))
+        return comps
+
+    def _finish_flow(self, f: FluidFlow, now: float) -> None:
+        del self._flows[f]
+        for link in f.path:
+            link._active.pop(f, None)
+        f._gen += 1
+        f.remaining = 0.0
+        f.rate = 0.0
+        f.finish_time = now
+        if self.perf is not None:
+            self.perf.bump("flow_completions")
+        f.done.succeed(f)
+
+    def _refill_component(self, flows: List[FluidFlow], now: float) -> None:
+        """Sync, complete, and re-price one dirty component."""
+        if self.perf is not None:
+            self.perf.bump("components_refilled")
+        live: List[FluidFlow] = []
+        for f in flows:
+            self._sync_flow(f, now)
+            if f.remaining <= _EPS_BYTES:
+                self._finish_flow(f, now)
+            else:
+                live.append(f)
+        if not live:
+            return
+        self._fill_rates(live)
+        heap = self._heap
+        for f in live:
+            f._gen += 1
+            if f.rate > 0:
+                when = now if math.isinf(f.rate) else now + f.remaining / f.rate
+                heapq.heappush(heap, (when, f._seq, f._gen, f))
+
+    def _reallocate(self) -> None:
+        """Refill every dirty component, schedule the wake, notify observers."""
+        if self._in_reallocate:
+            return
+        self._in_reallocate = True
+        if self.perf is not None:
+            self.perf.bump("reallocations")
+        try:
+            while True:
+                while self._dirty:
+                    seeds = list(self._dirty)
+                    self._dirty.clear()
+                    now = self.sim.now
+                    for comp in self._components(seeds):
+                        self._refill_component(comp, now)
+                self._schedule_next_wake()
+                if not self._observers:
+                    break
+                snapshot = list(self._flows)
+                for fn in self._observers:
+                    fn(self.sim.now, snapshot)
+                # Observers mark links dirty through set_capacity (the
+                # re-entrant call no-ops under the guard); loop until the
+                # system is clean.
+                if not self._dirty:
+                    break
+        finally:
+            self._in_reallocate = False
+
+    def _schedule_next_wake(self) -> None:
+        heap = self._heap
+        # Drop stale entries (flow re-priced, finished, paused or cancelled
+        # since the push) and compact the heap if garbage dominates.
+        while heap and heap[0][2] != heap[0][3]._gen:
+            heapq.heappop(heap)
+        if len(heap) > 64 and len(heap) > 4 * len(self._flows):
+            live = [e for e in heap if e[2] == e[3]._gen]
+            heap[:] = live
+            heapq.heapify(heap)
+        if not heap:
+            return
+        target = heap[0][0]
+        now = self.sim.now
+        if target <= now:
+            # Horizon below float resolution at the current clock value (a
+            # nearly-finished flow at a high rate): advance one ulp so the
+            # integration step covers the residual bytes (see global path).
+            target = now + math.ulp(now if now > 0 else 1.0)
+        if self._wake_at is not None and self._wake_at <= target:
+            return  # an earlier (or equal) wake is already pending
+        self._wake_generation += 1
+        gen = self._wake_generation
+        self._wake_at = target
+
+        def _wake() -> None:
+            if gen != self._wake_generation:
+                return  # superseded by an earlier wake scheduled later
+            self._wake_at = None
+            self._on_wake()
+
+        self.sim.call_at(target, _wake)
+
+    def _on_wake(self) -> None:
+        """Handle the earliest completion horizon(s) reaching the clock."""
+        now = self.sim.now
+        if self.perf is not None:
+            self.perf.bump("wakes")
+        heap = self._heap
+        due: List[FluidFlow] = []
+        while heap and heap[0][0] <= now:
+            _, _, gen, f = heapq.heappop(heap)
+            if gen == f._gen:
+                due.append(f)
+        for f in due:
+            self._sync_flow(f, now)
+            self._mark_dirty(f.path)
+            if f.remaining <= _EPS_BYTES:
+                self._finish_flow(f, now)
+            else:
+                # Float residue: the horizon rounded just short of the final
+                # byte.  Bump the generation (no duplicate heap entries) and
+                # let the refill push a fresh, one-ulp horizon.
+                f._gen += 1
+        if due:
+            self._reallocate()
+        else:
+            self._schedule_next_wake()

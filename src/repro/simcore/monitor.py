@@ -23,13 +23,18 @@ class TimeSeries:
     queue lengths evolve in the simulator.
     """
 
-    def __init__(self, name: str = "series"):
+    def __init__(self, name: str = "series", perf=None):
         self.name = name
         self._t: List[float] = []
         self._v: List[float] = []
+        #: Optional :class:`~repro.perf.PerfCounters`; when set, every
+        #: recorded sample bumps ``timeseries_samples``.
+        self.perf = perf
 
     def record(self, time: float, value: float) -> None:
         """Append a sample; time must be non-decreasing."""
+        if self.perf is not None:
+            self.perf.bump("timeseries_samples")
         if self._t and time < self._t[-1]:
             raise ValueError(
                 f"non-monotonic sample at t={time} (last was {self._t[-1]})"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, List, Optional
+from typing import Any, List
 
 from .engine import Simulator
 from .errors import SimulationError

@@ -59,6 +59,8 @@ class ParallelFileSystem:
         self.servers = list(servers)
         self.stripe_size = int(stripe_size)
         self._files: Dict[str, FileMeta] = {}
+        #: Shared :class:`~repro.perf.PerfCounters` (from the flow network).
+        self.perf = fabric.net.perf
 
     # -- namespace ------------------------------------------------------------
     def create(self, path: str, stripe_size: Optional[int] = None) -> FileMeta:
@@ -109,6 +111,8 @@ class ParallelFileSystem:
         """
         meta = self.open(path)
         meta.extend(offset, nbytes)
+        if self.perf is not None:
+            self.perf.bump("pfs_writes")
         return self._issue(client, app, path, offset, nbytes, weight, cap, "write")
 
     def read(self, client: str, app: str, path: str, offset: int, nbytes: int,
@@ -119,6 +123,8 @@ class ParallelFileSystem:
             raise SimulationError(
                 f"read past EOF on {path!r} ({offset + nbytes} > {meta.size})"
             )
+        if self.perf is not None:
+            self.perf.bump("pfs_reads")
         return self._issue(client, app, path, offset, nbytes, weight, cap, "read")
 
     def _issue(self, client: str, app: str, path: str, offset: int,

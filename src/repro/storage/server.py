@@ -76,11 +76,15 @@ class StorageServer:
         self.scheduler.bind(sim, self._launch)
         self.bytes_written = 0.0
         self.bytes_read = 0.0
+        #: Shared :class:`~repro.perf.PerfCounters` (from the flow network).
+        self.perf = net.perf
 
     # -- client interface -----------------------------------------------------
     def submit(self, request: IORequest) -> Event:
         """Queue a request under the admission policy; event fires when done."""
         request.submitted = self.sim.now
+        if self.perf is not None:
+            self.perf.bump("io_requests")
         return self.scheduler.submit(request)
 
     # -- internals ---------------------------------------------------------------
@@ -104,8 +108,9 @@ class StorageServer:
 
     def _update_seek_penalty(self, time: float, flows) -> None:
         """Degrade the ingest pipe as distinct applications interleave."""
-        apps = {f.label for f in flows
-                if not f.paused and self.ingest_link in f.path}
+        # The per-link index makes this O(flows on this server) rather than
+        # a scan of every flow in the machine.
+        apps = {f.label for f in self.net.link_flows(self.ingest_link)}
         self.ingest_link.set_capacity(
             self.disk.effective_rate(max(1, len(apps)))
         )

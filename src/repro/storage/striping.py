@@ -7,7 +7,7 @@ and per-server aggregates (the fluid default).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps import IORApp, IORConfig, checkpoint_like, cm1_like, namd_like
-from repro.mpisim import Contiguous, Strided
+from repro.mpisim import Contiguous
 from repro.platforms import Platform, PlatformConfig
 
 

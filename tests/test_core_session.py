@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps import IORApp, IORConfig
 from repro.core import CalciomRuntime
-from repro.mpisim import Contiguous, MPIInfo, Strided
+from repro.mpisim import Contiguous, MPIInfo
 from repro.platforms import Platform, PlatformConfig
 from repro.simcore import SimulationError
 

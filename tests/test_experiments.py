@@ -5,7 +5,7 @@ import pytest
 
 from repro.apps import IORConfig
 from repro.experiments import (
-    DeltaGraph, TwoFlowModel, cpu_seconds_wasted, efficiency_summary,
+    TwoFlowModel, cpu_seconds_wasted, efficiency_summary,
     expected_pair_times, format_series, format_table, interference_factor,
     run_delta_graph, run_pair, run_single, size_split_sweep, sparkline,
     split_pairs, standalone_time, strategy_comparison,

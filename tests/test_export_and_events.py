@@ -7,7 +7,7 @@ from repro.experiments import run_delta_graph, run_many
 from repro.experiments.export import delta_graph_csv, multi_result_csv
 from repro.mpisim import Contiguous
 from repro.platforms import PlatformConfig
-from repro.simcore import Event, SimulationError, Simulator
+from repro.simcore import SimulationError, Simulator
 
 PLATFORM = PlatformConfig(name="x", nservers=1, disk_bandwidth=100.0,
                           per_core_bandwidth=10.0, stripe_size=100,

@@ -6,13 +6,11 @@ not strand everyone else.  These tests kill things at awkward moments and
 assert the system drains.
 """
 
-import pytest
 
 from repro.apps import IORApp, IORConfig
 from repro.core import CalciomRuntime
 from repro.mpisim import Contiguous
 from repro.platforms import Platform, PlatformConfig
-from repro.simcore import SimulationError
 
 
 def tiny_cfg():

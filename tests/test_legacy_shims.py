@@ -1,0 +1,71 @@
+"""The PR-1 legacy shims must emit real DeprecationWarnings naming the
+declarative replacement."""
+
+import warnings
+
+import pytest
+
+from repro.experiments import (
+    run_delta_graph, run_many, run_pair, size_split_sweep, standalone_time,
+    strategy_comparison,
+)
+from repro.apps import IORConfig
+from repro.mpisim import Contiguous
+from repro.platforms import PlatformConfig
+
+
+def tiny_platform():
+    return PlatformConfig(name="shim-test", nservers=1,
+                          disk_bandwidth=1000.0, per_core_bandwidth=100.0,
+                          stripe_size=1000, latency=0.0)
+
+
+def tiny_cfg(name="a", start=0.0):
+    return IORConfig(name=name, nprocs=2,
+                     pattern=Contiguous(block_size=500),
+                     start_time=start, grain=None)
+
+
+def test_standalone_time_warns():
+    with pytest.warns(DeprecationWarning, match="ExperimentEngine.baseline"):
+        standalone_time(tiny_platform(), tiny_cfg())
+
+
+def test_run_pair_warns():
+    with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+        run_pair(tiny_platform(), tiny_cfg("a"), tiny_cfg("b"), dt=0.5,
+                 measure_alone=False)
+
+
+def test_run_many_warns():
+    with pytest.warns(DeprecationWarning, match="as_multi"):
+        run_many(tiny_platform(), [tiny_cfg("a"), tiny_cfg("b", 0.5)],
+                 measure_alone=False)
+
+
+def test_run_delta_graph_warns():
+    with pytest.warns(DeprecationWarning,
+                      match="ExperimentEngine.delta_graph"):
+        run_delta_graph(tiny_platform(), tiny_cfg("a"), tiny_cfg("b"),
+                        dts=[0.0])
+
+
+def test_sweep_helpers_warn():
+    with pytest.warns(DeprecationWarning,
+                      match="ExperimentEngine.size_split_sweep"):
+        size_split_sweep(tiny_platform(), tiny_cfg("a"), tiny_cfg("b"),
+                         total_cores=4, sizes_b=[2], dts=[0.0])
+    with pytest.warns(DeprecationWarning,
+                      match="ExperimentEngine.strategy_comparison"):
+        strategy_comparison(tiny_platform(), tiny_cfg("a"), tiny_cfg("b"),
+                            dt=0.0, strategies=(None,))
+
+
+def test_shims_still_produce_results():
+    """Deprecated does not mean broken: the shims stay functional."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        pair = run_pair(tiny_platform(), tiny_cfg("a"), tiny_cfg("b"),
+                        dt=0.5, measure_alone=False)
+    assert pair.a.write_time > 0
+    assert pair.b.write_time > 0

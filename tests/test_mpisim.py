@@ -1,12 +1,11 @@
 """Unit tests for the simulated MPI layer: info, patterns, communicators,
 two-phase planning, ADIO execution, and the MPI-IO facade."""
 
-import math
 
 import pytest
 
 from repro.mpisim import (
-    ADIOLayer, Communicator, Contiguous, MPIInfo, MPIIOFile, NullGuard,
+    ADIOLayer, Communicator, Contiguous, MPIInfo, MPIIOFile,
     Strided, plan_collective_write,
 )
 from repro.platforms import Platform, PlatformConfig

@@ -1,6 +1,5 @@
 """Unit tests for the interconnect fabric."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,81 @@
+"""The many-application trace scenarios and the perf-instrumented results."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentEngine, ExperimentSpec, build_scenario, get_scenario,
+    replay_spec,
+)
+from repro.platforms import grid5000_rennes
+from repro.traces import IntrepidModel, generate_intrepid_like
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ExperimentEngine()
+
+
+def test_many_writers_builds_requested_population():
+    spec, = build_scenario("many-writers", napps=50, nservers=8)
+    assert len(spec.workloads) == 50
+    assert spec.meta["napps"] == 50
+    assert spec.platform.pool_servers is False
+    assert spec.platform.allocator == "incremental"
+    # Deterministic: the same seed yields the same campaign.
+    again, = build_scenario("many-writers", napps=50, nservers=8)
+    assert again == spec
+
+
+def test_many_writers_runs_under_strategies(engine):
+    for strategy in (None, "fcfs", "interrupt"):
+        spec, = build_scenario("many-writers", napps=10, nservers=4,
+                               strategy=strategy, phases=2)
+        result = engine.run(spec)
+        assert len(result.records) == 10
+        assert result.makespan > 0
+        for record in result.records.values():
+            assert len(record.write_times) == 2
+
+
+def test_swf_replay_scenario_reaches_scale(engine):
+    spec, = build_scenario("swf-replay", napps=60, hours=3.0)
+    assert 50 <= len(spec.workloads) <= 60
+    assert spec.meta["scenario"] == "swf-replay"
+    result = engine.run(spec)
+    assert len(result.records) == len(spec.workloads)
+
+
+def test_replay_spec_round_trips_through_json():
+    trace = generate_intrepid_like(
+        model=IntrepidModel(duration_days=1.0, jobs_per_hour=30.0), seed=3)
+    spec = replay_spec(grid5000_rennes(), trace, window=(0.0, 4 * 3600.0),
+                       max_jobs=20, measure_alone=False)
+    clone = ExperimentSpec.from_json(spec.to_json())
+    assert clone == spec
+
+
+def test_experiment_results_carry_perf_counters(engine):
+    spec, = build_scenario("many-writers", napps=6, nservers=3, phases=1)
+    result = engine.run(spec)
+    perf = result.perf
+    assert perf["events_processed"] > 0
+    assert perf["rate_recomputations"] > 0
+    assert perf["flows_touched"] >= perf["rate_recomputations"]
+    assert perf["flow_starts"] == perf["flow_completions"]
+    assert perf["pfs_writes"] > 0
+    assert perf["io_requests"] >= perf["pfs_writes"]
+    assert perf["wall_seconds"] > 0
+
+
+def test_result_set_total_perf_sums_campaign(engine):
+    specs = [build_scenario("many-writers", napps=4, nservers=2, phases=1,
+                            seed=s)[0] for s in (1, 2)]
+    rs = engine.run_all(specs)
+    total = rs.total_perf()
+    assert total["flow_starts"] == sum(r.perf["flow_starts"] for r in rs)
+    assert total["wall_seconds"] > 0
+
+
+def test_scenario_descriptions_mention_scale():
+    assert "50-500" in get_scenario("many-writers").description
+    assert "50-500" in get_scenario("swf-replay").description

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simcore import (
-    AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator,
+    AllOf, AnyOf, Interrupt, SimulationError, Simulator,
 )
 
 

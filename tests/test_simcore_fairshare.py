@@ -1,6 +1,5 @@
 """Unit and property tests for the fluid-flow max-min allocator."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
