@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""CI gate: fail when a fresh BENCH record regresses >Nx vs the committed one.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --kind kernel \
+        --fresh benchmarks/results/BENCH_kernel.json \
+        --committed /tmp/committed/BENCH_kernel.json \
+        [--factor 2.0]
+
+The comparison logic lives in :func:`repro.perf.check_perf_regression`
+(unit-tested in ``tests/test_perf_gate.py``): the gate compares each
+record's *achieved speedup* (optimized path vs retained oracle, measured
+within one run on one machine — hardware-independent), failing on a
+>``factor``x collapse.  Raw wall-clock of the optimized path is printed
+as a non-fatal advisory (it catches shared slowdowns a speedup ratio
+cannot, but depends on the machine).  Exit status 1 on regression.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf import check_perf_regression  # noqa: E402
+
+
+def _advisory_wall(record: dict, kind: str) -> float:
+    if kind == "kernel":
+        return float(record["incremental"]["wall_seconds"])
+    scales = record.get("scales", {})
+    return sum(float(s["batched"]["coord_seconds"]) for s in scales.values())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kind", required=True, choices=("kernel", "arbiter"))
+    parser.add_argument("--fresh", required=True, type=pathlib.Path)
+    parser.add_argument("--committed", required=True, type=pathlib.Path)
+    parser.add_argument("--factor", type=float, default=2.0)
+    args = parser.parse_args()
+
+    fresh = json.loads(args.fresh.read_text())
+    committed = json.loads(args.committed.read_text())
+    ok, message = check_perf_regression(fresh, committed, kind=args.kind,
+                                        factor=args.factor)
+    print(("OK  " if ok else "FAIL") + " " + message)
+    print(f"     advisory (machine-dependent): optimized-path wall "
+          f"{_advisory_wall(fresh, args.kind):.4g}s fresh vs "
+          f"{_advisory_wall(committed, args.kind):.4g}s committed")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

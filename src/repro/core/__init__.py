@@ -11,10 +11,10 @@ Public surface:
 """
 
 from .api import CalciomRuntime
-from .arbiter import AccessState, Arbiter, DecisionRecord
+from .arbiter import AccessState, Arbiter, CoordinationRound, DecisionRecord
 from .metrics import (
-    AccessDescriptor, CpuSecondsWasted, EfficiencyMetric, MaxSlowdown,
-    SumInterferenceFactors, TotalIOTime, make_metric,
+    AccessDescriptor, CpuSecondsWasted, DescriptorSetView, EfficiencyMetric,
+    MaxSlowdown, SumInterferenceFactors, TotalIOTime, make_metric,
 )
 from .registry import ApplicationRecord, ApplicationRegistry
 from .session import CalciomSession
@@ -25,9 +25,10 @@ from .strategies import (
 
 __all__ = [
     "CalciomRuntime", "CalciomSession",
-    "Arbiter", "AccessState", "DecisionRecord",
+    "Arbiter", "AccessState", "CoordinationRound", "DecisionRecord",
     "ApplicationRegistry", "ApplicationRecord",
-    "AccessDescriptor", "EfficiencyMetric", "CpuSecondsWasted",
+    "AccessDescriptor", "DescriptorSetView", "EfficiencyMetric",
+    "CpuSecondsWasted",
     "SumInterferenceFactors", "MaxSlowdown", "TotalIOTime", "make_metric",
     "Strategy", "InterfereStrategy", "FCFSStrategy", "InterruptStrategy",
     "DynamicStrategy", "Action", "Decision", "make_strategy",

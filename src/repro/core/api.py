@@ -48,17 +48,30 @@ class CalciomRuntime:
         Override for the cross-application message latency (defaults to
         twice the platform's link latency: coordinator -> peer coordinator
         crosses the fabric once, through the switch).
+    batched:
+        Passed to :class:`~repro.core.arbiter.Arbiter`: True (default)
+        uses the indexed state and same-timestamp coordination rounds;
+        False retains the historical per-inform decision loop (the
+        equivalence oracle).
+    decision_log_limit:
+        Ring-buffer bound on the arbiter's decision log (None = unbounded,
+        the figure-reproduction default; scale scenarios cap it).
     """
 
     def __init__(self, platform: Platform, strategy="dynamic",
-                 coordination_latency: Optional[float] = None):
+                 coordination_latency: Optional[float] = None,
+                 batched: bool = True,
+                 decision_log_limit: Optional[int] = None):
         self.platform = platform
         self.sim = platform.sim
         latency = (2 * platform.config.latency
                    if coordination_latency is None else coordination_latency)
         self.coordination_latency = float(latency)
         self.arbiter = Arbiter(self.sim, strategy,
-                               grant_latency=self.coordination_latency)
+                               grant_latency=self.coordination_latency,
+                               batched=batched,
+                               decision_log_limit=decision_log_limit,
+                               perf=getattr(platform, "perf", None))
         # A system-provided arbiter knows its machine: give a dynamic
         # strategy the file system's aggregate bandwidth so its
         # interference predictions can honour client-side caps.
@@ -83,6 +96,7 @@ class CalciomRuntime:
             estimator=self.platform.standalone_write_time,
             comm=comm,
             coordination_latency=self.coordination_latency,
+            perf=getattr(self.platform, "perf", None),
         )
         self._sessions[app] = session
         return session

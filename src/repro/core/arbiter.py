@@ -18,19 +18,37 @@ State machine per application access::
 A *preempted* application keeps its in-flight request (interruption happens
 at the next guard hook — the round/file boundary, exactly like the paper's
 ADIO placement) and resumes with priority once the interrupter completes.
+
+Scaling (the indexed/batched coordination layer)
+------------------------------------------------
+The default arbiter keeps **maintained indexes** — an O(1)-membership
+active set iterated in first-decision order, FIFO waiting/preempted queues
+with O(1) removal and O(log n) pop-first — instead of rebuilding lists by
+scanning every application ever seen, and **coalesces same-timestamp
+Inform/Release exchanges** from sessions into one :class:`CoordinationRound`
+flushed through a single :meth:`~repro.core.strategies.Strategy.decide_batch`
+invocation.  Arrival order is preserved exactly, so decision logs and
+simulated timing are bit-identical to the historical per-inform path, which
+is retained behind ``Arbiter(..., batched=False)`` as a cross-checked
+oracle (mirroring the incremental-kernel/global-allocator pattern) and as
+the baseline for ``benchmarks/test_scale_arbiter.py``.
 """
 
 from __future__ import annotations
 
+import heapq
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
+from itertools import count
 from typing import Dict, List, Optional
 
-from ..simcore import Event, Simulator
-from .metrics import AccessDescriptor
-from .strategies import Action, Strategy, make_strategy
+from ..simcore import Event, SimulationError, Simulator
+from .metrics import AccessDescriptor, DescriptorSetView
+from .strategies import Action, Decision, Strategy, make_strategy
 
-__all__ = ["AccessState", "Arbiter", "DecisionRecord"]
+__all__ = ["AccessState", "Arbiter", "CoordinationRound", "DecisionRecord"]
 
 
 class AccessState(Enum):
@@ -52,19 +70,158 @@ class DecisionRecord:
     costs: Dict[str, float] = field(default_factory=dict)
 
 
-class Arbiter:
-    """Decision-maker and authorization bookkeeper."""
+class _FifoIndex:
+    """Insertion-ordered app set: O(1) membership/removal, O(log n) pop-first.
 
-    def __init__(self, sim: Simulator, strategy, grant_latency: float = 0.0):
+    Dict iteration order equals arrival order because entries are only ever
+    appended with a monotonically increasing sequence number (a re-added app
+    goes to the back, like the old list's remove-then-append).  A lazily
+    invalidated heap gives pop-first without the O(n) tombstone scans a
+    bare dict would accumulate under sustained FIFO traffic.
+    """
+
+    __slots__ = ("_members", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._members: Dict[str, int] = {}
+        self._heap: List[tuple] = []
+        self._seq = count()
+
+    def add(self, app: str) -> None:
+        if app in self._members:
+            return
+        seq = next(self._seq)
+        self._members[app] = seq
+        heapq.heappush(self._heap, (seq, app))
+
+    def discard(self, app: str) -> None:
+        self._members.pop(app, None)
+
+    def pop_first(self) -> str:
+        members, heap = self._members, self._heap
+        while heap:
+            seq, app = heapq.heappop(heap)
+            if members.get(app) == seq:
+                del members[app]
+                return app
+        raise IndexError("pop_first() on an empty index")
+
+    def __contains__(self, app: str) -> bool:
+        return app in self._members
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+
+class _Exchange:
+    """One session message queued in a :class:`CoordinationRound`."""
+
+    __slots__ = ("kind", "app", "descriptor", "remaining", "event")
+
+    INFORM = "inform"
+    RELEASE = "release"
+
+    def __init__(self, kind, app, descriptor=None, remaining=None, event=None):
+        self.kind = kind
+        self.app = app
+        self.descriptor = descriptor
+        self.remaining = remaining
+        self.event = event
+
+
+class CoordinationRound:
+    """All Inform/Release exchanges submitted at one simulated timestamp.
+
+    Sessions enqueue here instead of invoking the strategy N independent
+    times; the arbiter flushes the round (in arrival order) either at the
+    scheduled same-timestamp flush event or eagerly, whenever a synchronous
+    state change (``on_complete``, ``withdraw``, a direct ``on_inform``)
+    must observe every exchange already submitted.
+    """
+
+    __slots__ = ("time", "entries")
+
+    def __init__(self, time_: float):
+        self.time = time_
+        self.entries: List[_Exchange] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CoordinationRound t={self.time:g} entries={len(self.entries)}>"
+
+
+class Arbiter:
+    """Decision-maker and authorization bookkeeper.
+
+    Parameters
+    ----------
+    strategy:
+        Name, class, or :class:`~repro.core.strategies.Strategy` instance.
+    grant_latency:
+        Seconds between a grant decision and the granted application
+        observing it (the authorization message crossing the fabric).
+    batched:
+        True (default): indexed state + :class:`CoordinationRound`
+        message coalescing.  False: the historical per-inform decision
+        loop over scanned lists — kept as the equivalence oracle and the
+        "old cost" baseline for the scale benchmark.
+    decision_log_limit:
+        ``None`` (default) keeps every :class:`DecisionRecord` — required
+        for figure reproduction.  An integer bounds the log to the most
+        recent N records (a ring buffer) so 10^5-decision scale scenarios
+        don't retain 10^5 snapshots.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters`; when set the arbiter
+        bumps ``coord_decisions`` / ``coord_rounds`` / ``coord_exchanges``
+        / ``coord_grants`` / ``coord_preemptions`` and accumulates
+        ``coord_seconds`` of host wall-clock spent in the decision loop.
+    """
+
+    def __init__(self, sim: Simulator, strategy, grant_latency: float = 0.0,
+                 batched: bool = True,
+                 decision_log_limit: Optional[int] = None,
+                 perf=None):
         self.sim = sim
         self.strategy: Strategy = make_strategy(strategy)
         self.grant_latency = float(grant_latency)
+        self.batched = bool(batched)
+        self.perf = perf
         self._state: Dict[str, AccessState] = {}
         self._desc: Dict[str, AccessDescriptor] = {}
-        self._waiting: List[str] = []     # FIFO arrival order
-        self._preempted: List[str] = []   # FIFO preemption order
         self._auth_events: Dict[str, Event] = {}
-        self.decision_log: List[DecisionRecord] = []
+        #: Granted-but-unprocessed authorization events (grant_latency in
+        #: flight); lets late ``authorization_event`` callers observe the
+        #: delayed grant instead of an instant one.
+        self._inflight: Dict[str, Event] = {}
+        #: Per-app access generation; bumped on every return to IDLE so
+        #: stale DELAY-hold timers can detect a withdraw+re-inform cycle.
+        self._epoch: Dict[str, int] = {}
+        self.decision_log_limit = decision_log_limit
+        self.decision_log = ([] if decision_log_limit is None
+                             else deque(maxlen=int(decision_log_limit)))
+        if self.batched:
+            #: First-decision order (never reset) — the iteration order the
+            #: old ``_state``-scanning ``active_descriptors()`` produced.
+            self._order: Dict[str, int] = {}
+            self._order_seq = count()
+            self._active: Dict[str, None] = {}
+            self._waiting = _FifoIndex()
+            self._preempted = _FifoIndex()
+            self._round: Optional[CoordinationRound] = None
+            self._active_view = DescriptorSetView(
+                self._active, self._desc, sort_key=self._order.__getitem__)
+            self._waiting_view = DescriptorSetView(self._waiting, self._desc)
+        else:
+            self._waiting: List[str] = []     # FIFO arrival order
+            self._preempted: List[str] = []   # FIFO preemption order
 
     # -- queries -----------------------------------------------------------
     def state_of(self, app: str) -> AccessState:
@@ -78,14 +235,32 @@ class Arbiter:
         return self._desc.get(app)
 
     def active_descriptors(self) -> List[AccessDescriptor]:
+        if self.batched:
+            return list(self._active_view)
         return [self._desc[a] for a, s in self._state.items()
                 if s is AccessState.ACTIVE]
 
     def waiting_descriptors(self) -> List[AccessDescriptor]:
+        if self.batched:
+            return list(self._waiting_view)
         return [self._desc[a] for a in self._waiting]
+
+    def grant_in_flight(self, app: str) -> bool:
+        """Whether ``app``'s grant notification is still crossing the fabric.
+
+        True between a grant decision and the granted application observing
+        it (``grant_latency`` later).  Sessions consult this so a batched
+        round's deferred continuation still pays the authorization-message
+        latency the unbatched path charged.
+        """
+        ev = self._inflight.get(app)
+        return ev is not None and not ev.processed
 
     def authorization_event(self, app: str) -> Event:
         """Event that fires when ``app`` becomes (or already is) authorized."""
+        inflight = self._inflight.get(app)
+        if inflight is not None and not inflight.processed:
+            return inflight  # grant_latency still in flight
         if self.is_authorized(app):
             ev = self.sim.event()
             ev.succeed(None)
@@ -96,89 +271,279 @@ class Arbiter:
             self._auth_events[app] = ev
         return ev
 
-    # -- protocol entry points -----------------------------------------------
+    # -- protocol entry points (synchronous) -------------------------------
     def on_inform(self, descriptor: AccessDescriptor) -> bool:
         """An application announces (or refreshes) an access.
 
         Returns True if the application is authorized after the call.
+        Synchronous: any pending coordination round is flushed first so the
+        decision observes every exchange submitted before this call.
         """
+        if not self.batched:
+            return self._on_inform_unbatched(descriptor)
+        self._flush_pending()
+        t0 = time.perf_counter() if self.perf is not None else 0.0
         app = descriptor.app
-        state = self.state_of(app)
-        if state in (AccessState.ACTIVE, AccessState.WAITING,
-                     AccessState.PREEMPTED):
+        if self.state_of(app) is not AccessState.IDLE:
             # Continuation or refresh: update knowledge, no new decision.
             self._merge_descriptor(app, descriptor)
-            return state is AccessState.ACTIVE
+            authorized = self.state_of(app) is AccessState.ACTIVE
+        else:
+            authorized = self._decide_fresh([descriptor], events=None)[0]
+        if self.perf is not None:
+            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+        return authorized
 
-        decision = self.strategy.decide(
-            self.sim.now,
-            self.active_descriptors(),
-            self.waiting_descriptors(),
-            descriptor,
-        )
-        self.decision_log.append(DecisionRecord(
-            time=self.sim.now, app=app, action=decision.action,
-            active=[d.app for d in self.active_descriptors()],
-            waiting=list(self._waiting), costs=dict(decision.costs),
-        ))
-        self._desc[app] = descriptor
-        if decision.action is Action.GO:
-            self._activate(app)
-            return True
-        if decision.action is Action.WAIT:
-            self._state[app] = AccessState.WAITING
-            self._waiting.append(app)
-            return False
-        if decision.action is Action.DELAY:
-            # Fig 12's tradeoff: hold the newcomer briefly, then let it
-            # share.  An earlier grant (actives completing) still wins.
-            self._state[app] = AccessState.WAITING
-            self._waiting.append(app)
+    def submit_inform(self, descriptor: AccessDescriptor) -> Event:
+        """Queue an Inform into the current round; fires with the result.
 
-            def _hold_expired() -> None:
-                if self.state_of(app) is AccessState.WAITING:
-                    if app in self._waiting:
-                        self._waiting.remove(app)
-                    self._activate(app)
-
-            self.sim.call_at(self.sim.now + max(0.0, decision.delay),
-                             _hold_expired)
-            return False
-        # INTERRUPT: revoke targets' authorization, then run.
-        targets = decision.preempt
-        if targets is None:
-            targets = [d.app for d in self.active_descriptors()]
-        for victim in targets:
-            if self.state_of(victim) is AccessState.ACTIVE:
-                self._state[victim] = AccessState.PREEMPTED
-                self._preempted.append(victim)
-        self._activate(app)
-        return True
+        The returned event succeeds (at the same timestamp) with the value
+        :meth:`on_inform` would have returned.  Sessions use this in
+        batched mode; unbatched arbiters resolve it immediately.
+        """
+        ev = self.sim.event()
+        if not self.batched:
+            ev.succeed(self.on_inform(descriptor))
+            return ev
+        t0 = time.perf_counter() if self.perf is not None else 0.0
+        app = descriptor.app
+        if self._round is None and self.state_of(app) is not AccessState.IDLE:
+            # Continuation with no pending round: there is nothing to
+            # preserve ordering against, so skip the round machinery and
+            # apply the knowledge refresh immediately (the bulk of session
+            # traffic is exactly this).  Fresh informs always queue — they
+            # are the decisions coordination rounds batch.
+            self._merge_descriptor(app, descriptor)
+            ev.succeed(self.state_of(app) is AccessState.ACTIVE)
+            if self.perf is not None:
+                self.perf.bump("coord_exchanges")
+        else:
+            self._open_round().entries.append(_Exchange(
+                _Exchange.INFORM, app, descriptor=descriptor, event=ev))
+        if self.perf is not None:
+            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+        return ev
 
     def on_release(self, app: str, remaining_bytes: Optional[float] = None) -> None:
         """End of one guarded step: refresh remaining-work knowledge."""
+        if self.batched:
+            self._flush_pending()
+        t0 = time.perf_counter() if self.perf is not None else 0.0
         desc = self._desc.get(app)
         if desc is not None and remaining_bytes is not None:
             desc.remaining_bytes = max(0.0, float(remaining_bytes))
+        if self.perf is not None:
+            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+
+    def submit_release(self, app: str,
+                       remaining_bytes: Optional[float] = None) -> None:
+        """Queue a Release into the current round (batched mode).
+
+        With no round pending there is nothing to order against, so the
+        refresh applies immediately (same fast path as continuation
+        informs).
+        """
+        if not self.batched:
+            self.on_release(app, remaining_bytes)
+            return
+        t0 = time.perf_counter() if self.perf is not None else 0.0
+        if self._round is None:
+            desc = self._desc.get(app)
+            if desc is not None and remaining_bytes is not None:
+                desc.remaining_bytes = max(0.0, float(remaining_bytes))
+            if self.perf is not None:
+                self.perf.bump("coord_exchanges")
+        else:
+            self._open_round().entries.append(_Exchange(
+                _Exchange.RELEASE, app, remaining=remaining_bytes))
+        if self.perf is not None:
+            self.perf.bump("coord_seconds", time.perf_counter() - t0)
 
     def on_complete(self, app: str) -> None:
         """The whole access finished: free the slot, grant successors."""
+        if not self.batched:
+            self._on_complete_unbatched(app)
+            return
+        self._flush_pending()
         state = self.state_of(app)
         if state is AccessState.IDLE:
             return
-        if app in self._waiting:
-            self._waiting.remove(app)
-        if app in self._preempted:
-            self._preempted.remove(app)
+        t0 = time.perf_counter() if self.perf is not None else 0.0
+        self._waiting.discard(app)
+        self._preempted.discard(app)
+        self._active.pop(app, None)
         self._state[app] = AccessState.IDLE
+        self._epoch[app] = self._epoch.get(app, 0) + 1
+        # A grant notification still in flight belongs to the access that
+        # just ended; the next access must not observe it.
+        self._inflight.pop(app, None)
         self._desc.pop(app, None)
         self._grant_next()
+        if self.perf is not None:
+            self.perf.bump("coord_seconds", time.perf_counter() - t0)
 
     def withdraw(self, app: str) -> None:
         """Remove an application entirely (job end, error paths)."""
         self.on_complete(app)
 
-    # -- internals --------------------------------------------------------------
+    # -- coordination rounds (batched mode) --------------------------------
+    def _open_round(self) -> CoordinationRound:
+        rnd = self._round
+        if rnd is None:
+            rnd = self._round = CoordinationRound(self.sim.now)
+            self.sim.call_at(self.sim.now, self._flush_pending)
+        return rnd
+
+    def _flush_pending(self) -> None:
+        """Apply every queued exchange, in arrival order.
+
+        Runs at the round's scheduled flush event, and eagerly from any
+        synchronous entry point — whichever comes first.  Idempotent.
+        """
+        rnd = self._round
+        if rnd is None:
+            return
+        self._round = None
+        entries = rnd.entries
+        perf = self.perf
+        t0 = time.perf_counter() if perf is not None else 0.0
+        if perf is not None:
+            perf.bump("coord_rounds")
+            perf.bump("coord_exchanges", len(entries))
+        i, n = 0, len(entries)
+        while i < n:
+            e = entries[i]
+            if e.kind == _Exchange.RELEASE:
+                desc = self._desc.get(e.app)
+                if desc is not None and e.remaining is not None:
+                    desc.remaining_bytes = max(0.0, float(e.remaining))
+                i += 1
+                continue
+            if self.state_of(e.app) is not AccessState.IDLE:
+                # Continuation or refresh: no strategy decision.
+                self._merge_descriptor(e.app, e.descriptor)
+                e.event.succeed(self.state_of(e.app) is AccessState.ACTIVE)
+                i += 1
+                continue
+            # Maximal run of fresh informs (distinct apps) -> one batched
+            # strategy invocation.  A repeated app or an interleaved
+            # release breaks the run: later entries must observe the
+            # earlier ones' effects exactly as the unbatched path would.
+            batch = [e]
+            seen = {e.app}
+            j = i + 1
+            while j < n:
+                nxt = entries[j]
+                if (nxt.kind != _Exchange.INFORM or nxt.app in seen
+                        or self.state_of(nxt.app) is not AccessState.IDLE):
+                    break
+                batch.append(nxt)
+                seen.add(nxt.app)
+                j += 1
+            self._decide_fresh([b.descriptor for b in batch],
+                               events=[b.event for b in batch])
+            i = j
+        if perf is not None:
+            perf.bump("coord_seconds", time.perf_counter() - t0)
+
+    def _decide_fresh(self, descriptors: List[AccessDescriptor],
+                      events: Optional[List[Event]]) -> List[bool]:
+        """One batched strategy invocation over fresh informs, in order.
+
+        Decisions are pulled lazily and applied one at a time, so a
+        strategy observing the live views sees each earlier decision's
+        effect — bit-identical to N independent unbatched calls.
+        """
+        decisions = iter(self.strategy.decide_batch(
+            self.sim.now, self._active_view, self._waiting_view, descriptors))
+        results: List[bool] = []
+        for k, descriptor in enumerate(descriptors):
+            try:
+                decision = next(decisions)
+            except StopIteration:
+                raise SimulationError(
+                    f"{self.strategy!r}.decide_batch yielded {k} decisions "
+                    f"for {len(descriptors)} incoming accesses") from None
+            authorized = self._apply_decision(descriptor, decision)
+            results.append(authorized)
+            if events is not None:
+                events[k].succeed(authorized)
+        return results
+
+    def _apply_decision(self, descriptor: AccessDescriptor,
+                        decision: Decision) -> bool:
+        app = descriptor.app
+        if app not in self._order:
+            self._order[app] = next(self._order_seq)
+        self._log_decision(app, decision,
+                           active=self._active_view.names(),
+                           waiting=list(self._waiting))
+        self._desc[app] = descriptor
+        if decision.action is Action.GO:
+            self._activate(app)
+            return True
+        if decision.action is Action.WAIT:
+            self._enqueue_waiting(app)
+            return False
+        if decision.action is Action.DELAY:
+            # Fig 12's tradeoff: hold the newcomer briefly, then let it
+            # share.  An earlier grant (actives completing) still wins.
+            self._enqueue_waiting(app)
+            self._schedule_hold(app, decision.delay)
+            return False
+        # INTERRUPT: revoke targets' authorization, then run.
+        targets = decision.preempt
+        if targets is None:
+            targets = self._active_view.names()
+        for victim in targets:
+            if self.state_of(victim) is AccessState.ACTIVE:
+                self._state[victim] = AccessState.PREEMPTED
+                self._active.pop(victim, None)
+                self._preempted.add(victim)
+                if self.perf is not None:
+                    self.perf.bump("coord_preemptions")
+        self._activate(app)
+        return True
+
+    def _enqueue_waiting(self, app: str) -> None:
+        self._state[app] = AccessState.WAITING
+        self._waiting.add(app)
+        # Register the authorization event now (not lazily in wait()):
+        # a same-timestamp grant must deliver grant_latency even if the
+        # session's continuation has not resumed yet.
+        self._register_auth_event(app)
+
+    def _schedule_hold(self, app: str, delay: float) -> None:
+        epoch = self._epoch.get(app, 0)
+
+        def _hold_expired() -> None:
+            if self.batched:
+                self._flush_pending()
+            # Guard on the access generation: withdraw() + a fresh inform
+            # between scheduling and firing must not see this stale timer
+            # activate the *new* access early.
+            if self._epoch.get(app, 0) != epoch:
+                return
+            if self.state_of(app) is not AccessState.WAITING:
+                return
+            if self.batched:
+                self._waiting.discard(app)
+            elif app in self._waiting:
+                self._waiting.remove(app)
+            self._activate(app)
+
+        self.sim.call_at(self.sim.now + max(0.0, delay), _hold_expired)
+
+    # -- internals ---------------------------------------------------------
+    def _log_decision(self, app: str, decision: Decision,
+                      active: List[str], waiting: List[str]) -> None:
+        self.decision_log.append(DecisionRecord(
+            time=self.sim.now, app=app, action=decision.action,
+            active=active, waiting=waiting, costs=dict(decision.costs),
+        ))
+        if self.perf is not None:
+            self.perf.bump("coord_decisions")
+
     def _merge_descriptor(self, app: str, incoming: AccessDescriptor) -> None:
         current = self._desc.get(app)
         if current is None:
@@ -189,21 +554,116 @@ class Arbiter:
 
     def _activate(self, app: str) -> None:
         self._state[app] = AccessState.ACTIVE
+        if self.batched:
+            self._active[app] = None
         desc = self._desc.get(app)
         if desc is not None and desc.access_started is None:
             desc.access_started = self.sim.now
+        if self.perf is not None:
+            self.perf.bump("coord_grants")
         ev = self._auth_events.pop(app, None)
         if ev is not None and not ev.triggered:
             ev.succeed(None, delay=self.grant_latency)
+            if self.grant_latency > 0:
+                self._inflight[app] = ev
+
+                def _clear(_processed, app=app, ev=ev):
+                    # Only this grant's entry: a withdraw + re-grant may
+                    # have installed a successor event meanwhile.
+                    if self._inflight.get(app) is ev:
+                        del self._inflight[app]
+
+                ev.callbacks.append(_clear)
 
     def _grant_next(self) -> None:
         """Grant priority to preempted apps, then the FIFO waiter queue."""
+        if self.batched:
+            if self._active:
+                return  # someone is still running; nothing to grant
+            if self._preempted:
+                self._activate(self._preempted.pop_first())
+                return
+            if self._waiting:
+                self._activate(self._waiting.pop_first())
+            return
         if self.active_descriptors():
-            return  # someone is still running; nothing to grant
+            return
         if self._preempted:
-            app = self._preempted.pop(0)
-            self._activate(app)
+            self._activate(self._preempted.pop(0))
             return
         if self._waiting:
-            app = self._waiting.pop(0)
+            self._activate(self._waiting.pop(0))
+
+    # -- the historical per-inform path (the oracle) ------------------------
+    def _on_inform_unbatched(self, descriptor: AccessDescriptor) -> bool:
+        """The pre-index decision loop: list rebuilds, O(n) scans."""
+        t0 = time.perf_counter() if self.perf is not None else 0.0
+        try:
+            app = descriptor.app
+            state = self.state_of(app)
+            if state in (AccessState.ACTIVE, AccessState.WAITING,
+                         AccessState.PREEMPTED):
+                self._merge_descriptor(app, descriptor)
+                return state is AccessState.ACTIVE
+
+            decision = self.strategy.decide(
+                self.sim.now,
+                self.active_descriptors(),
+                self.waiting_descriptors(),
+                descriptor,
+            )
+            self._log_decision(
+                app, decision,
+                active=[d.app for d in self.active_descriptors()],
+                waiting=list(self._waiting))
+            self._desc[app] = descriptor
+            if decision.action is Action.GO:
+                self._activate(app)
+                return True
+            if decision.action is Action.WAIT:
+                self._state[app] = AccessState.WAITING
+                self._waiting.append(app)
+                self._register_auth_event(app)
+                return False
+            if decision.action is Action.DELAY:
+                self._state[app] = AccessState.WAITING
+                self._waiting.append(app)
+                self._register_auth_event(app)
+                self._schedule_hold(app, decision.delay)
+                return False
+            targets = decision.preempt
+            if targets is None:
+                targets = [d.app for d in self.active_descriptors()]
+            for victim in targets:
+                if self.state_of(victim) is AccessState.ACTIVE:
+                    self._state[victim] = AccessState.PREEMPTED
+                    self._preempted.append(victim)
+                    if self.perf is not None:
+                        self.perf.bump("coord_preemptions")
             self._activate(app)
+            return True
+        finally:
+            if self.perf is not None:
+                self.perf.bump("coord_seconds", time.perf_counter() - t0)
+
+    def _register_auth_event(self, app: str) -> None:
+        ev = self._auth_events.get(app)
+        if ev is None or ev.triggered:
+            self._auth_events[app] = self.sim.event()
+
+    def _on_complete_unbatched(self, app: str) -> None:
+        state = self.state_of(app)
+        if state is AccessState.IDLE:
+            return
+        t0 = time.perf_counter() if self.perf is not None else 0.0
+        if app in self._waiting:
+            self._waiting.remove(app)
+        if app in self._preempted:
+            self._preempted.remove(app)
+        self._state[app] = AccessState.IDLE
+        self._epoch[app] = self._epoch.get(app, 0) + 1
+        self._inflight.pop(app, None)
+        self._desc.pop(app, None)
+        self._grant_next()
+        if self.perf is not None:
+            self.perf.bump("coord_seconds", time.perf_counter() - t0)

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
 
 __all__ = [
-    "AccessDescriptor", "EfficiencyMetric", "CpuSecondsWasted",
-    "SumInterferenceFactors", "MaxSlowdown", "TotalIOTime", "make_metric",
+    "AccessDescriptor", "DescriptorSetView", "EfficiencyMetric",
+    "CpuSecondsWasted", "SumInterferenceFactors", "MaxSlowdown",
+    "TotalIOTime", "make_metric",
 ]
 
 
@@ -67,6 +68,57 @@ class AccessDescriptor:
             access_started=self.access_started, files=self.files,
             rounds=self.rounds,
         )
+
+
+class DescriptorSetView:
+    """Live, read-only view over one of the arbiter's app-name indexes.
+
+    Strategies receive these instead of materialized descriptor lists: the
+    arbiter no longer copies its state per decision, and truthiness/length
+    checks (the whole of FCFS's work) are O(1).  The view is *live* — it
+    always reflects the arbiter's current indexes, which is what makes the
+    lazily-pulled :meth:`~repro.core.strategies.Strategy.decide_batch`
+    protocol correct: a decision applied mid-batch is visible to the next
+    ``decide`` call through the same view objects.
+
+    Iteration yields :class:`AccessDescriptor`\\ s in the index's canonical
+    order (first-decision order for actives, FIFO arrival order for
+    waiters), matching what the old list-building arbiter produced.
+    """
+
+    __slots__ = ("_names", "_descriptors", "_sort_key")
+
+    def __init__(self, names, descriptors: Mapping[str, AccessDescriptor],
+                 sort_key: Optional[Callable[[str], int]] = None):
+        self._names = names          #: live container of app names
+        self._descriptors = descriptors
+        self._sort_key = sort_key    #: None = container iteration order
+
+    def _ordered_names(self) -> List[str]:
+        if self._sort_key is None:
+            return list(self._names)
+        return sorted(self._names, key=self._sort_key)
+
+    def names(self) -> List[str]:
+        """App names in canonical order (a fresh list, safe to keep)."""
+        return self._ordered_names()
+
+    def __iter__(self) -> Iterator[AccessDescriptor]:
+        descriptors = self._descriptors
+        return (descriptors[name] for name in self._ordered_names())
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __bool__(self) -> bool:
+        return len(self._names) > 0
+
+    def __getitem__(self, index):
+        # O(k log k): views are made for iteration; indexing materializes.
+        return list(self)[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DescriptorSetView {self._ordered_names()!r}>"
 
 
 class EfficiencyMetric(ABC):

@@ -39,7 +39,8 @@ class CalciomSession(IOGuard):
     def __init__(self, sim: Simulator, arbiter: Arbiter, app: str,
                  client: str, nprocs: int, estimator,
                  comm: Optional[Communicator] = None,
-                 coordination_latency: float = 50e-6):
+                 coordination_latency: float = 50e-6,
+                 perf=None):
         self.sim = sim
         self.arbiter = arbiter
         self.app = app
@@ -48,6 +49,7 @@ class CalciomSession(IOGuard):
         self._estimate_t_alone = estimator
         self.comm = comm
         self.coordination_latency = float(coordination_latency)
+        self.perf = perf
         self._info_stack: List[MPIInfo] = []
         self._descriptor: Optional[AccessDescriptor] = None
         self.total_wait_time = 0.0
@@ -95,7 +97,13 @@ class CalciomSession(IOGuard):
             # ranks: latency-dominated, so charge the log-tree term only.
             cost += self.comm.gather_time(0.0)
         self.coordination_messages += 1
+        if self.perf is not None:
+            self.perf.bump("coord_messages")
         yield self.sim.timeout(cost)
+        if self.arbiter.batched:
+            # Join the same-timestamp coordination round; the result event
+            # fires (still at this timestamp) when the round is flushed.
+            return (yield self.arbiter.submit_inform(self._descriptor))
         return self.arbiter.on_inform(self._descriptor)
 
     def check(self) -> bool:
@@ -104,7 +112,7 @@ class CalciomSession(IOGuard):
 
     def wait(self) -> Generator[object, object, None]:
         """``Wait()`` — block until the other applications agree we may go."""
-        if self.check():
+        if self.check() and not self.arbiter.grant_in_flight(self.app):
             return
         t0 = self.sim.now
         yield self.arbiter.authorization_event(self.app)
@@ -113,10 +121,15 @@ class CalciomSession(IOGuard):
     def release(self) -> Generator[object, object, None]:
         """``Release()`` — end a step; let the strategy be re-evaluated."""
         self.coordination_messages += 1
+        if self.perf is not None:
+            self.perf.bump("coord_messages")
         yield self.sim.timeout(self.coordination_latency)
         remaining = (self._descriptor.remaining_bytes
                      if self._descriptor is not None else None)
-        self.arbiter.on_release(self.app, remaining)
+        if self.arbiter.batched:
+            self.arbiter.submit_release(self.app, remaining)
+        else:
+            self.arbiter.on_release(self.app, remaining)
 
     # ------------------------------------------------------------------
     # IOGuard protocol (what the ADIO layer calls)

@@ -15,10 +15,11 @@ with equal core counts and B arriving dt after A, interrupting A wins iff
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .metrics import AccessDescriptor, CpuSecondsWasted, EfficiencyMetric, make_metric
 
@@ -26,6 +27,10 @@ __all__ = [
     "Action", "Decision", "Strategy", "InterfereStrategy", "FCFSStrategy",
     "InterruptStrategy", "DynamicStrategy", "make_strategy",
 ]
+
+#: Strategy classes already warned about the list-materialization shim
+#: (one DeprecationWarning per class, not per decision).
+_VIEW_SHIM_WARNED = set()
 
 
 class Action(Enum):
@@ -52,15 +57,63 @@ class Decision:
 
 
 class Strategy(ABC):
-    """Policy mapping (running accesses, incoming access) to a decision."""
+    """Policy mapping (running accesses, incoming access) to a decision.
+
+    Contract (since the indexed-arbiter refactor): ``active`` and
+    ``waiting`` are *read-only views* over the arbiter's live indexes
+    (:class:`~repro.core.metrics.DescriptorSetView`) — iterable, sized,
+    truth-testable, but not lists and never to be mutated.  Strategies that
+    are view-clean declare ``supports_views = True``; for legacy strategies
+    the arbiter materializes plain lists per decision through the default
+    :meth:`decide_batch` (with a once-per-class DeprecationWarning).
+    """
 
     name: str = "strategy"
 
+    #: Set True when :meth:`decide` treats its ``active``/``waiting``
+    #: arguments as read-only iterables.  False (the legacy default)
+    #: makes the arbiter materialize lists for every decision.
+    supports_views: bool = False
+
     @abstractmethod
-    def decide(self, now: float, active: List[AccessDescriptor],
-               waiting: List[AccessDescriptor],
+    def decide(self, now: float, active: Sequence[AccessDescriptor],
+               waiting: Sequence[AccessDescriptor],
                incoming: AccessDescriptor) -> Decision:
         """Decide what to do with ``incoming`` at time ``now``."""
+
+    def decide_batch(self, now: float, active: Sequence[AccessDescriptor],
+                     waiting: Sequence[AccessDescriptor],
+                     incomings: Sequence[AccessDescriptor],
+                     ) -> Iterable[Decision]:
+        """Decide a whole :class:`~repro.core.arbiter.CoordinationRound`.
+
+        Called once per batch of same-timestamp fresh informs, in arrival
+        order.  The arbiter pulls decisions lazily and **applies each one
+        before pulling the next**, so a generator implementation observing
+        the live views sees the effects of its earlier decisions — which
+        is exactly what makes the default (one :meth:`decide` per
+        incoming) bit-identical to N independent unbatched calls.
+        Override to share work across the batch; yield exactly one
+        :class:`Decision` per incoming, in order.
+        """
+        if self.supports_views:
+            for incoming in incomings:
+                yield self.decide(now, active, waiting, incoming)
+            return
+        cls = type(self)
+        if cls not in _VIEW_SHIM_WARNED:
+            _VIEW_SHIM_WARNED.add(cls)
+            warnings.warn(
+                f"{cls.__name__}.decide receives read-only arbiter views "
+                "now; materializing lists for compatibility. Set "
+                f"{cls.__name__}.supports_views = True and treat the "
+                "active/waiting arguments as read-only iterables.",
+                DeprecationWarning, stacklevel=3,
+            )
+        for incoming in incomings:
+            # Re-materialize per decision: earlier decisions in the batch
+            # may have changed the indexes behind the views.
+            yield self.decide(now, list(active), list(waiting), incoming)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
@@ -70,6 +123,7 @@ class InterfereStrategy(Strategy):
     """The uncoordinated baseline: everyone writes whenever they like."""
 
     name = "interfere"
+    supports_views = True
 
     def decide(self, now, active, waiting, incoming) -> Decision:
         return Decision(Action.GO)
@@ -84,6 +138,7 @@ class FCFSStrategy(Strategy):
     """
 
     name = "fcfs"
+    supports_views = True
 
     def decide(self, now, active, waiting, incoming) -> Decision:
         if active or waiting:
@@ -99,6 +154,7 @@ class InterruptStrategy(Strategy):
     """
 
     name = "interrupt"
+    supports_views = True
 
     def decide(self, now, active, waiting, incoming) -> Decision:
         if active:
@@ -140,6 +196,7 @@ class DynamicStrategy(Strategy):
     """
 
     name = "dynamic"
+    supports_views = True
 
     def __init__(self, metric: EfficiencyMetric | str = None,
                  consider_interference: bool = False,

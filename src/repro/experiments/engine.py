@@ -119,7 +119,8 @@ def execute_spec(spec: ExperimentSpec) -> "ExperimentResult":
         platform = Platform(spec.platform)
         runtime: Optional[CalciomRuntime] = None
         if spec.strategy is not None:
-            runtime = CalciomRuntime(platform, strategy=spec.strategy)
+            runtime = CalciomRuntime(platform, strategy=spec.strategy,
+                                     **dict(spec.arbiter))
         apps: List[IORApp] = []
         for workload in spec.workloads:
             cfg = workload.to_ior()

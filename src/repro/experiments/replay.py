@@ -27,10 +27,12 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from ..apps import IORConfig
 from ..mpisim import Contiguous
 from ..platforms import PlatformConfig
-from ..traces import SWFTrace
+from ..traces import JobIOModel, SWFTrace
 from .engine import ExperimentResult, default_engine
 from .multi import MultiResult
 from .spec import ExperimentSpec, WorkloadSpec
@@ -57,14 +59,23 @@ def plan_replay(trace: SWFTrace, window: Tuple[float, float],
                 bytes_per_process: int = 16_000_000,
                 phases_per_job: int = 4,
                 max_jobs: Optional[int] = None,
-                min_procs: int = 1) -> ReplayPlan:
+                min_procs: int = 1,
+                io_model: Optional[JobIOModel] = None,
+                io_seed: int = 0) -> ReplayPlan:
     """Map the jobs active in ``window`` to IOR-like workloads.
 
-    Each job becomes a periodic writer: ``phases_per_job`` I/O phases of
-    ``bytes_per_process`` each, spread evenly over the job's in-window
-    runtime.  Pick ``bytes_per_process`` so a standalone phase is short
-    relative to the phase spacing on your platform — the resulting I/O duty
-    cycle plays the role of the paper's µ, and contention stretches it.
+    Each job becomes a periodic writer: ``phases_per_job`` I/O phases
+    spread evenly over the job's in-window runtime.  Pick the phase volume
+    so a standalone phase is short relative to the phase spacing on your
+    platform — the resulting I/O duty cycle plays the role of the paper's
+    µ, and contention stretches it.
+
+    Without ``io_model`` every job writes one uniform contiguous
+    ``bytes_per_process`` phase (the historical behavior, still right for
+    controlled scaling studies).  With a
+    :class:`~repro.traces.JobIOModel`, each job's access pattern and
+    per-process volume are sampled from the model's Fig 1-style
+    distributions, deterministically per ``(io_seed, job_id)``.
     """
     t0, t1 = window
     if t1 <= t0:
@@ -87,10 +98,15 @@ def plan_replay(trace: SWFTrace, window: Tuple[float, float],
                                 math.ceil(in_window / (t1 - t0)
                                           * phases_per_job)))
         period = in_window / iterations if iterations > 1 else None
+        if io_model is not None:
+            job_rng = np.random.default_rng((int(io_seed), int(job.job_id)))
+            pattern, _ = io_model.sample(job_rng, nprocs)
+        else:
+            pattern = Contiguous(block_size=max(1, int(bytes_per_process)))
         configs.append(IORConfig(
             name=f"job{job.job_id}",
             nprocs=nprocs,
-            pattern=Contiguous(block_size=max(1, int(bytes_per_process))),
+            pattern=pattern,
             iterations=iterations,
             period=period,
             start_time=start,
@@ -108,6 +124,8 @@ def replay_spec(platform_cfg: PlatformConfig, trace: SWFTrace,
                 phases_per_job: int = 4,
                 max_jobs: Optional[int] = None,
                 measure_alone: bool = True,
+                io_model: Optional[JobIOModel] = None,
+                io_seed: int = 0,
                 name: str = "trace-replay") -> ExperimentSpec:
     """Plan a trace window and package it as one declarative spec.
 
@@ -116,7 +134,8 @@ def replay_spec(platform_cfg: PlatformConfig, trace: SWFTrace,
     """
     plan = plan_replay(trace, window, core_scale=core_scale,
                        bytes_per_process=bytes_per_process,
-                       phases_per_job=phases_per_job, max_jobs=max_jobs)
+                       phases_per_job=phases_per_job, max_jobs=max_jobs,
+                       io_model=io_model, io_seed=io_seed)
     if not plan.configs:
         raise ValueError("no jobs active in the requested window")
     workloads = tuple(WorkloadSpec.from_ior(cfg) for cfg in plan.configs)

@@ -27,7 +27,7 @@ from ..platforms import (
     PlatformConfig, grid5000_nancy, grid5000_rennes, surveyor,
 )
 from ..simcore import ensure_rng
-from ..traces import IntrepidModel, generate_intrepid_like
+from ..traces import IntrepidModel, JobIOModel, generate_intrepid_like
 from .replay import replay_spec
 from .spec import ExperimentSpec, WorkloadSpec
 from .sweeps import split_pairs
@@ -235,6 +235,12 @@ def many_writers_platform(nservers: int = 32,
     )
 
 
+#: Scale scenarios cap the arbiter's decision log: at 10^3+ applications a
+#: full audit trail of every decision is memory, not information.  Figure
+#: scenarios keep the unbounded default.
+SCALE_DECISION_LOG_LIMIT = 10_000
+
+
 @register_scenario(
     "many-writers",
     "Scale scenario: N staggered periodic writers (50-500) spread over a "
@@ -245,10 +251,14 @@ def many_writers(napps: int = 200, nservers: int = 32,
                  bytes_per_process: int = 4_000_000,
                  spread: float = 60.0, period: float = 30.0,
                  seed: int = 7, measure_alone: bool = False,
-                 allocator: str = "incremental") -> List[ExperimentSpec]:
+                 allocator: str = "incremental",
+                 arbiter: Optional[Dict[str, Any]] = None
+                 ) -> List[ExperimentSpec]:
     """Synthetic trace-flavoured mix: ``napps`` writers with random sizes
     (4-32 processes), staggered starts over ``spread`` seconds, ``phases``
-    periodic I/O phases each.  Runs under any coordination strategy."""
+    periodic I/O phases each.  Runs under any coordination strategy;
+    ``arbiter`` overrides the coordination-layer options (e.g.
+    ``{"batched": False}`` for the oracle path)."""
     if napps < 1:
         raise ValueError(f"napps must be >= 1, got {napps}")
     rng = ensure_rng(seed)
@@ -265,10 +275,13 @@ def many_writers(napps: int = 200, nservers: int = 32,
             start_time=float(rng.uniform(0.0, spread)),
             grain="round",
         ))
+    arbiter_opts = {"decision_log_limit": SCALE_DECISION_LOG_LIMIT}
+    arbiter_opts.update(arbiter or {})
     return [ExperimentSpec(
         platform=platform, workloads=tuple(workloads), strategy=strategy,
         name="many-writers", measure_alone=measure_alone,
         meta={"napps": napps, "scenario": "many-writers"},
+        arbiter=arbiter_opts,
     )]
 
 
@@ -282,10 +295,17 @@ def swf_replay(napps: int = 100, hours: float = 6.0,
                bytes_per_process: int = 4_000_000, phases_per_job: int = 2,
                seed: int = 2014, measure_alone: bool = False,
                platform: Optional[PlatformConfig] = None,
+               sampled_io: bool = True,
+               arbiter: Optional[Dict[str, Any]] = None,
                ) -> List[ExperimentSpec]:
     """Generate a dense synthetic SWF trace, take an ``hours``-long window
     and replay the first ``napps`` resident jobs (see
-    :func:`repro.experiments.replay.replay_spec`)."""
+    :func:`repro.experiments.replay.replay_spec`).
+
+    ``sampled_io`` (default True) draws each job's access pattern and
+    per-process volume from :class:`~repro.traces.JobIOModel`'s Fig
+    1-style distributions instead of the old one-uniform-contiguous-write
+    placeholder; pass False to recover the uniform population."""
     if napps < 1:
         raise ValueError(f"napps must be >= 1, got {napps}")
     if hours <= 0:
@@ -296,12 +316,17 @@ def swf_replay(napps: int = 100, hours: float = 6.0,
     model = IntrepidModel(duration_days=max(1.0, 2.0 * hours / 24.0),
                           jobs_per_hour=rate)
     trace = generate_intrepid_like(model=model, seed=seed)
+    io_model = (JobIOModel(median_bytes_per_process=float(bytes_per_process))
+                if sampled_io else None)
     spec = replay_spec(
         platform if platform is not None else grid5000_rennes(),
         trace, window=(0.0, hours * 3600.0), strategy=strategy,
         core_scale=core_scale, bytes_per_process=bytes_per_process,
         phases_per_job=phases_per_job, max_jobs=napps,
-        measure_alone=measure_alone, name="swf-replay",
+        measure_alone=measure_alone, io_model=io_model, io_seed=seed,
+        name="swf-replay",
     )
     spec.meta["scenario"] = "swf-replay"
-    return [spec]
+    arbiter_opts = {"decision_log_limit": SCALE_DECISION_LOG_LIMIT}
+    arbiter_opts.update(arbiter or {})
+    return [spec.with_(arbiter=arbiter_opts)]

@@ -193,6 +193,11 @@ class ExperimentSpec:
     ``meta`` carries free-form campaign coordinates (``{"dt": 2.0,
     "split": 24}``) that survive serialization and let
     :class:`~repro.experiments.engine.ResultSet` regroup fan-out results.
+
+    ``arbiter`` carries coordination-layer options forwarded to
+    :class:`~repro.core.CalciomRuntime` (``{"batched": False}`` selects
+    the unbatched oracle path, ``{"decision_log_limit": 10000}`` caps the
+    decision log for scale scenarios).  Ignored when ``strategy`` is None.
     """
 
     platform: PlatformConfig
@@ -201,6 +206,7 @@ class ExperimentSpec:
     name: str = ""
     measure_alone: bool = True
     meta: Dict[str, Any] = field(default_factory=dict)
+    arbiter: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         workloads = tuple(as_workload(w) for w in self.workloads)
@@ -274,6 +280,7 @@ class ExperimentSpec:
             "strategy": self.strategy,
             "measure_alone": self.measure_alone,
             "meta": dict(self.meta),
+            "arbiter": dict(self.arbiter),
         }
 
     @classmethod
@@ -286,6 +293,7 @@ class ExperimentSpec:
             strategy=data.get("strategy"),
             measure_alone=data.get("measure_alone", True),
             meta=dict(data.get("meta", {})),
+            arbiter=dict(data.get("arbiter", {})),
         )
 
     def to_json(self, **dumps_kw) -> str:

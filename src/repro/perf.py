@@ -20,6 +20,13 @@ counter                    meaning
 ``io_requests``            requests admitted by storage servers
 ``pfs_writes``/``reads``   file-system level operations
 ``timeseries_samples``     monitor samples recorded
+``coord_decisions``        strategy decisions taken by the arbiter
+``coord_rounds``           coordination rounds flushed (batched arbiter)
+``coord_exchanges``        Inform/Release exchanges coalesced into rounds
+``coord_grants``           authorizations granted (initial GO included)
+``coord_preemptions``      ACTIVE -> PREEMPTED transitions
+``coord_messages``         session-level coordination messages sent
+``coord_seconds``          host wall-clock spent in the arbiter decision loop
 ``wall_seconds``           host wall-clock of the run (attached by the engine)
 =========================  ====================================================
 
@@ -39,9 +46,10 @@ platform's counters (plus wall-clock) into every
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
-__all__ = ["PerfCounters", "WallTimer", "merge_counts"]
+__all__ = ["PerfCounters", "WallTimer", "check_perf_regression",
+           "merge_counts"]
 
 
 class PerfCounters:
@@ -116,3 +124,77 @@ def merge_counts(snapshots: Iterable[Mapping[str, float]]) -> Dict[str, float]:
     for snap in snapshots:
         merged.merge(snap)
     return merged.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# CI perf-regression gating over the BENCH_*.json records
+# ---------------------------------------------------------------------------
+
+def _without(config: Any, keys: Tuple[str, ...]) -> Any:
+    if not isinstance(config, Mapping):
+        return config
+    return {k: v for k, v in config.items() if k not in keys}
+
+
+def _kernel_speedup(record: Mapping[str, Any]) -> float:
+    return float(record["speedup"])
+
+
+def _arbiter_speedup(record: Mapping[str, Any], scale: str) -> float:
+    return float(record["scales"][scale]["speedup"])
+
+
+def check_perf_regression(fresh: Mapping[str, Any],
+                          committed: Mapping[str, Any],
+                          kind: str,
+                          factor: float = 2.0) -> Tuple[bool, str]:
+    """Gate a fresh benchmark record against the committed one.
+
+    Returns ``(ok, message)``; ``ok`` is False when the fresh record's
+    **achieved speedup** (optimized path vs the retained oracle, measured
+    within one run on one machine) collapsed by more than ``factor``
+    relative to the committed record's.  Speedups are hardware-independent
+    where raw wall-clock is not — a committed record from a developer
+    laptop would otherwise gate a CI runner on machine speed — and a
+    >``factor``x wall-clock regression of the optimized path alone shows
+    up exactly as a >``factor``x speedup collapse.
+
+    Speedups are only comparable at matching workloads, so the kernel gate
+    requires equal configs and the arbiter gate compares the largest scale
+    the two records share (requiring the per-scale workload parameters to
+    match); mismatches skip loudly rather than comparing junk.  Shared
+    slowdowns hitting both paths equally are invisible to a speedup ratio
+    — the CLI wrapper prints raw wall-clock as a non-fatal advisory for
+    eyeballing those.
+    """
+    if kind == "kernel":
+        if fresh.get("config") != committed.get("config"):
+            return True, ("kernel: configs differ; speedups are not "
+                          "comparable — skipping gate (run the committed "
+                          "configuration to gate)")
+        fresh_speedup = _kernel_speedup(fresh)
+        committed_speedup = _kernel_speedup(committed)
+    elif kind == "arbiter":
+        common = sorted(set(fresh.get("scales", {}))
+                        & set(committed.get("scales", {})), key=float)
+        if not common:
+            return True, "arbiter records share no scale; skipping gate"
+        ignore = ("scales", "full_scale")
+        if (_without(fresh.get("config"), ignore)
+                != _without(committed.get("config"), ignore)):
+            return True, ("arbiter: per-scale workload parameters differ; "
+                          "speedups are not comparable — skipping gate")
+        scale = common[-1]
+        fresh_speedup = _arbiter_speedup(fresh, scale)
+        committed_speedup = _arbiter_speedup(committed, scale)
+        kind = f"arbiter@{scale}"
+    else:
+        raise ValueError(f"unknown benchmark kind {kind!r}")
+
+    if committed_speedup <= 0:
+        return True, f"{kind}: committed speedup is zero; skipping gate"
+    collapse = committed_speedup / max(fresh_speedup, 1e-12)
+    message = (f"{kind}: fresh speedup {fresh_speedup:.2f}x vs committed "
+               f"{committed_speedup:.2f}x "
+               f"({collapse:.2f}x collapse, limit {factor}x)")
+    return collapse <= factor, message

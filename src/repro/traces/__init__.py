@@ -6,11 +6,13 @@ from .analysis import (
 )
 from .probability import interference_probability_curve, prob_concurrent_io
 from .swf import SWFJob, SWFTrace, format_swf, parse_swf
-from .synth import INTREPID_CORES, IntrepidModel, generate_intrepid_like
+from .synth import (
+    INTREPID_CORES, IntrepidModel, JobIOModel, generate_intrepid_like,
+)
 
 __all__ = [
     "SWFJob", "SWFTrace", "parse_swf", "format_swf",
-    "IntrepidModel", "generate_intrepid_like", "INTREPID_CORES",
+    "IntrepidModel", "JobIOModel", "generate_intrepid_like", "INTREPID_CORES",
     "SizeDistribution", "job_size_distribution",
     "ConcurrencyDistribution", "concurrency_distribution",
     "prob_concurrent_io", "interference_probability_curve",

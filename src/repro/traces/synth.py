@@ -31,7 +31,7 @@ import numpy as np
 from ..simcore.rng import ensure_rng
 from .swf import SWFJob, SWFTrace
 
-__all__ = ["IntrepidModel", "generate_intrepid_like"]
+__all__ = ["IntrepidModel", "JobIOModel", "generate_intrepid_like"]
 
 #: Intrepid's size: 40 racks x 4096 cores.
 INTREPID_CORES = 163840
@@ -66,6 +66,79 @@ class IntrepidModel:
     @property
     def njobs_expected(self) -> float:
         return self.jobs_per_hour * 24 * self.duration_days
+
+
+@dataclass(frozen=True)
+class JobIOModel:
+    """Fig 1-style per-job I/O behavior distributions for trace replay.
+
+    The paper characterizes Intrepid's workload by Fig 1's size and
+    concurrency marginals, and its §II experiments span the two access
+    shapes real applications exhibit: contiguous checkpoint-style dumps
+    and strided multi-variable writes with blocks around the
+    collective-buffering sweet spot (hundreds of KB to a few MB).  Trace
+    replay used to give *every* job one uniform contiguous pattern; this
+    model instead samples, per job,
+
+    * a **pattern shape** — strided with probability ``strided_fraction``
+      (block size drawn from the ``block_choices`` the sampled volume can
+      hold at least twice, skewed small like Fig 1a's many-small-jobs
+      marginal), contiguous otherwise — including when the volume is too
+      small for any block, so rounding to whole blocks never inflates a
+      sampled volume beyond its clip range;
+    * a **per-process volume** — lognormal around
+      ``median_bytes_per_process`` (sigma ``volume_sigma``), mildly
+      coupled to job size the way runtimes are (bigger jobs dump somewhat
+      more state per core), clipped to ``[min_bytes, max_bytes]``.
+
+    Sampling is deterministic per ``(seed, job_id)`` so a replay plan is a
+    pure function of the trace window, independent of job ordering.
+    """
+
+    median_bytes_per_process: float = 4_000_000.0
+    volume_sigma: float = 0.85
+    size_volume_coupling: float = 0.08
+    strided_fraction: float = 0.55
+    block_choices: Tuple[int, ...] = (
+        256_000, 512_000, 1_000_000, 2_000_000, 4_000_000)
+    #: Small blocks dominate, mirroring Fig 1a's skew toward small jobs.
+    block_weights: Tuple[float, ...] = (0.3, 0.25, 0.2, 0.15, 0.1)
+    min_bytes: float = 64_000.0
+    max_bytes: float = 64_000_000.0
+
+    def sample_volume(self, rng: np.random.Generator, nprocs: int) -> float:
+        """Per-process bytes for one job (before pattern rounding)."""
+        coupling = self.size_volume_coupling * math.log2(max(1, nprocs))
+        raw = rng.lognormal(mean=0.0, sigma=self.volume_sigma)
+        volume = self.median_bytes_per_process * (2.0 ** coupling) * raw
+        return float(min(self.max_bytes, max(self.min_bytes, volume)))
+
+    def sample(self, rng: np.random.Generator, nprocs: int):
+        """Sample ``(pattern, bytes_per_process)`` for one job.
+
+        Imports the pattern classes lazily so :mod:`repro.traces` keeps no
+        module-level dependency on :mod:`repro.mpisim`.
+        """
+        from ..mpisim import Contiguous, Strided
+
+        volume = self.sample_volume(rng, nprocs)
+        if rng.uniform() < self.strided_fraction:
+            # Only blocks the sampled volume can hold at least twice are
+            # eligible, so rounding to whole blocks never inflates a small
+            # volume past its clip range; too-small volumes fall back to a
+            # contiguous write (one small dump *is* contiguous in practice).
+            eligible = [(b, w) for b, w in
+                        zip(self.block_choices, self.block_weights)
+                        if 2 * b <= volume]
+            if eligible:
+                blocks = np.asarray([b for b, _ in eligible])
+                weights = np.asarray([w for _, w in eligible], dtype=float)
+                block = int(rng.choice(blocks, p=weights / weights.sum()))
+                nblocks = int(round(volume / block))
+                return (Strided(block_size=block, nblocks=nblocks),
+                        block * nblocks)
+        size = max(1, int(round(volume)))
+        return Contiguous(block_size=size), size
 
 
 def _sample_sizes(rng: np.random.Generator, n: int) -> np.ndarray:

@@ -1,0 +1,97 @@
+"""The CI perf-regression gate over BENCH_*.json records.
+
+The gate compares *achieved speedups* (optimized path vs retained oracle,
+measured within one run on one machine) rather than raw wall-clock, so a
+committed record from one machine gates a CI runner without tripping on
+hardware speed; a >2x wall-clock regression of the optimized path alone
+shows up exactly as a >2x speedup collapse.
+"""
+
+import pytest
+
+from repro.perf import check_perf_regression
+
+
+def kernel_record(speedup, napps=200, wall=0.05):
+    return {
+        "benchmark": "scale_kernel",
+        "config": {"napps": napps, "nservers": 40},
+        "incremental": {"wall_seconds": wall, "events_processed": 5000},
+        "global": {"wall_seconds": wall * speedup, "events_processed": 5000},
+        "speedup": speedup,
+    }
+
+
+def arbiter_record(speedups_by_scale, phases=3, wall=0.01):
+    return {
+        "benchmark": "scale_arbiter",
+        "config": {"scales": sorted(map(int, speedups_by_scale)),
+                   "phases": phases, "rounds": 3, "strategy": "dynamic",
+                   "full_scale": max(map(int, speedups_by_scale)) >= 500},
+        "scales": {
+            scale: {"batched": {"coord_seconds": wall,
+                                "coord_decisions": 1000},
+                    "unbatched": {"coord_seconds": wall * speedup,
+                                  "coord_decisions": 1000},
+                    "speedup": speedup}
+            for scale, speedup in speedups_by_scale.items()
+        },
+    }
+
+
+def test_kernel_gate_fails_on_speedup_collapse():
+    ok, msg = check_perf_regression(kernel_record(80.0), kernel_record(200.0),
+                                    "kernel")
+    assert not ok and "collapse" in msg
+    ok, _ = check_perf_regression(kernel_record(150.0), kernel_record(200.0),
+                                  "kernel")
+    assert ok
+
+
+def test_kernel_gate_is_hardware_independent():
+    # A 3x slower machine scales both paths' wall-clock equally: the
+    # speedup is unchanged and the gate must pass.
+    slow_machine = kernel_record(200.0, wall=0.15)
+    ok, _ = check_perf_regression(slow_machine, kernel_record(200.0, wall=0.05),
+                                  "kernel")
+    assert ok
+
+
+def test_kernel_gate_skips_on_differing_config():
+    ok, msg = check_perf_regression(kernel_record(20.0, napps=60),
+                                    kernel_record(200.0, napps=200), "kernel")
+    assert ok and "skipping gate" in msg
+
+
+def test_arbiter_gate_uses_largest_common_scale():
+    committed = arbiter_record({"100": 2.0, "500": 8.0, "1000": 15.0})
+    fresh = arbiter_record({"60": 1.5, "100": 1.9})
+    ok, msg = check_perf_regression(fresh, committed, "arbiter")
+    assert ok and "arbiter@100" in msg
+    collapsed = arbiter_record({"60": 1.0, "100": 0.9})
+    ok, msg = check_perf_regression(collapsed, committed, "arbiter")
+    assert not ok and "arbiter@100" in msg
+
+
+def test_arbiter_gate_skips_on_disjoint_scales():
+    ok, msg = check_perf_regression(arbiter_record({"60": 1.5}),
+                                    arbiter_record({"500": 8.0}), "arbiter")
+    assert ok and "no scale" in msg
+
+
+def test_arbiter_gate_skips_on_differing_workload_parameters():
+    # Same scale but different phases-per-app: speedups not comparable.
+    ok, msg = check_perf_regression(arbiter_record({"100": 1.0}, phases=9),
+                                    arbiter_record({"100": 2.0}, phases=3),
+                                    "arbiter")
+    assert ok and "not comparable" in msg
+
+
+def test_custom_factor_and_unknown_kind():
+    fresh, committed = kernel_record(150.0), kernel_record(200.0)
+    ok, _ = check_perf_regression(fresh, committed, "kernel", factor=1.2)
+    assert not ok
+    ok, _ = check_perf_regression(fresh, committed, "kernel", factor=2.0)
+    assert ok
+    with pytest.raises(ValueError, match="unknown benchmark kind"):
+        check_perf_regression(fresh, committed, "frobnicator")

@@ -79,3 +79,41 @@ def test_result_set_total_perf_sums_campaign(engine):
 def test_scenario_descriptions_mention_scale():
     assert "50-500" in get_scenario("many-writers").description
     assert "50-500" in get_scenario("swf-replay").description
+
+
+# -- Fig 1-style per-job I/O sampling (swf-replay realism) --------------------
+
+def test_swf_replay_samples_patterns_and_volumes():
+    spec, = build_scenario("swf-replay", napps=40, hours=3.0)
+    kinds = {type(w.pattern).__name__ for w in spec.workloads}
+    assert kinds == {"Contiguous", "Strided"}  # a mixed population
+    volumes = {w.pattern.block_size * getattr(w.pattern, "nblocks", 1)
+               for w in spec.workloads}
+    assert len(volumes) > len(spec.workloads) // 2  # volumes vary per job
+    # Sampling is deterministic: same seed, same population.
+    again, = build_scenario("swf-replay", napps=40, hours=3.0)
+    assert again == spec
+
+
+def test_swf_replay_uniform_population_on_request():
+    spec, = build_scenario("swf-replay", napps=20, hours=3.0,
+                           sampled_io=False, bytes_per_process=1_000_000)
+    for w in spec.workloads:
+        assert type(w.pattern).__name__ == "Contiguous"
+        assert w.pattern.block_size == 1_000_000
+
+
+def test_job_io_model_sampling_is_per_job_deterministic():
+    import numpy as np
+
+    from repro.traces import JobIOModel
+
+    model = JobIOModel()
+    a1 = model.sample(np.random.default_rng((3, 17)), nprocs=8)
+    a2 = model.sample(np.random.default_rng((3, 17)), nprocs=8)
+    assert a1 == a2
+    volumes = [model.sample_volume(np.random.default_rng((3, j)), 8)
+               for j in range(200)]
+    assert model.min_bytes <= min(volumes) <= max(volumes) <= model.max_bytes
+    # Lognormal spread: the population is genuinely heterogeneous.
+    assert max(volumes) / min(volumes) > 5
