@@ -32,12 +32,20 @@ def _advisory_wall(record: dict, kind: str) -> float:
     if kind == "kernel":
         return float(record["incremental"]["wall_seconds"])
     scales = record.get("scales", {})
+    if kind == "shard":
+        # Optimized path = the highest shard count at each scale.
+        total = 0.0
+        for per_shardcount in scales.values():
+            best = max(per_shardcount, key=float)
+            total += float(per_shardcount[best]["perf"]["coord_seconds"])
+        return total
     return sum(float(s["batched"]["coord_seconds"]) for s in scales.values())
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--kind", required=True, choices=("kernel", "arbiter"))
+    parser.add_argument("--kind", required=True,
+                        choices=("kernel", "arbiter", "shard"))
     parser.add_argument("--fresh", required=True, type=pathlib.Path)
     parser.add_argument("--committed", required=True, type=pathlib.Path)
     parser.add_argument("--factor", type=float, default=2.0)

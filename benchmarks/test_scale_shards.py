@@ -1,0 +1,210 @@
+"""Scale benchmark: sharded coordination vs. a single machine-wide arbiter.
+
+Drives the :class:`~repro.core.sharding.ShardRouter` directly with a
+trace-shaped coordination workload — many applications, pinned round-robin
+over 8 file-system partitions, each cycling guarded accesses — under an
+FCFS-serializing strategy that additionally audits every decision with the
+full predicted-completion-time map (Fig 11-style cost quoting over every
+involved application).  That audit is the *machine-wide-scan regime*
+sharding targets: the built-in strategies answer in O(1) per inform since
+the batch-aware/aggregate satellites of this PR, but any policy or audit
+that must examine the whole backlog pays O(population) per decision on a
+single arbiter — and O(population / shards) on a sharded one, because each
+shard's waiting queue only holds its own partition's applications.
+
+The benchmark
+
+* verifies the **single-shard router is bit-identical to the plain
+  arbiter** (decision logs and completion times) — sharding is transparent
+  at ``shards=1``,
+* measures the decision-loop cost (``coord_seconds``) of the same offered
+  workload under 1 / 4 / 8 shards at 500 / 1000 / 2000 applications
+  (>= 3x asserted at 1000 applications / 8 shards), and
+* persists a machine-readable record to
+  ``benchmarks/results/BENCH_shard.json`` (gated against regressions by
+  ``benchmarks/check_perf_regression.py --kind shard`` in CI).
+
+Reduced configurations for CI smoke runs come from the environment:
+``SCALE_SHARD_APPS`` (comma-separated scales, default "500,1000,2000").
+The >= 3x assertion only applies at full scale (>= 1000 applications).
+"""
+
+import json
+import math
+import os
+import pathlib
+
+import numpy as np
+
+from repro.core import (
+    AccessDescriptor, Arbiter, CpuSecondsWasted, FCFSStrategy, ShardRouter,
+)
+from repro.perf import PerfCounters
+from repro.simcore import Simulator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCALES = tuple(int(s) for s in
+               os.environ.get("SCALE_SHARD_APPS", "500,1000,2000").split(","))
+SHARD_COUNTS = (1, 4, 8)
+NPARTITIONS = 8     #: partitions the workload is pinned over
+PHASES = 3          #: guarded accesses per application
+DT_ARRIVAL = 0.05   #: inter-arrival spacing (deep machine-wide backlog)
+SEED = 20140519
+
+_METRIC = CpuSecondsWasted()
+
+
+class AuditedFCFS(FCFSStrategy):
+    """FCFS serialization + a full predicted-completion audit per decision.
+
+    The decision itself is FCFS (§III-A.1); the audit predicts, from
+    exchanged knowledge only, when every involved application will finish
+    under that ordering and quotes the machine-wide metric cost in the
+    decision log — the same bookkeeping EXPERIMENTS.md quotes for Fig 11,
+    extended over the whole backlog.  It scans every active and waiting
+    descriptor, which is what makes the per-decision cost O(population)
+    and the benchmark's single-vs-sharded comparison meaningful.
+    """
+
+    name = "fcfs-audited"
+
+    def decide(self, now, active, waiting, incoming):
+        decision = super().decide(now, active, waiting, incoming)
+        times = {}
+        backlog = 0.0
+        for d in active:
+            times[d.app] = d.remaining_t
+            backlog += d.remaining_t
+        for d in waiting:
+            times[d.app] = backlog + d.t_alone
+            backlog += d.t_alone
+        times[incoming.app] = backlog + incoming.t_alone
+        descriptors = {d.app: d for d in active}
+        for d in waiting:
+            descriptors[d.app] = d
+        descriptors[incoming.app] = incoming
+        decision.costs["predicted_wait"] = backlog
+        decision.costs["machine_cost"] = _METRIC.cost(times, descriptors)
+        return decision
+
+
+def _drive(napps: int, nshards=None):
+    """One full coordination run; returns (perf dict, log, completions).
+
+    ``nshards=None`` drives a bare :class:`Arbiter` (the PR 3 coordination
+    layer); an integer drives a :class:`ShardRouter` with that many
+    shards.  The offered workload is identical either way: application
+    ``i`` is pinned to partition ``i % NPARTITIONS`` (the router maps
+    partitions onto shards modulo the shard count; with one shard — or a
+    bare arbiter — everything lands on a single decision point).
+    """
+    rng = np.random.default_rng(SEED)
+    t_alone = rng.uniform(0.9, 1.1, size=napps)
+
+    perf = PerfCounters()
+    sim = Simulator()
+    if nshards is None:
+        coord = Arbiter(sim, AuditedFCFS(), grant_latency=1e-4, perf=perf)
+    else:
+        coord = ShardRouter(sim, nshards, AuditedFCFS, grant_latency=1e-4,
+                            perf=perf)
+    done = np.zeros((napps, PHASES))
+
+    def app_proc(i):
+        name = f"app{i:04d}"
+        total = 1e6 * float(t_alone[i])
+        partitions = (i % NPARTITIONS,)
+        for phase in range(PHASES):
+            target = float(phase * napps * DT_ARRIVAL + i * DT_ARRIVAL)
+            yield sim.timeout(max(0.0, target - sim.now))
+            desc = AccessDescriptor(app=name, nprocs=16, total_bytes=total,
+                                    t_alone=float(t_alone[i]), rounds=1,
+                                    partitions=partitions)
+            authorized = yield coord.submit_inform(desc)
+            if not authorized:
+                yield coord.authorization_event(name)
+            yield sim.timeout(float(t_alone[i]))
+            coord.submit_release(name, 0.0)
+            coord.on_complete(name)
+            done[i, phase] = sim.now
+
+    for i in range(napps):
+        sim.process(app_proc(i))
+    sim.run()
+    return perf.as_dict(), list(coord.decision_log), done
+
+
+def _perf_record(perf: dict) -> dict:
+    keys = ("coord_seconds", "coord_decisions", "coord_rounds",
+            "coord_exchanges", "coord_grants")
+    return {k: (round(perf[k], 6) if k == "coord_seconds" else perf[k])
+            for k in keys if k in perf}
+
+
+def test_single_shard_router_is_the_arbiter():
+    """shards=1 must be decision-log- and completion-time-identical."""
+    napps = min(SCALES)
+    perf_arb, log_arb, done_arb = _drive(napps, nshards=None)
+    perf_one, log_one, done_one = _drive(napps, nshards=1)
+    assert log_one == log_arb, "single-shard decision log diverged"
+    assert np.array_equal(done_one, done_arb), (
+        "single-shard completion times diverged: max |dt| = "
+        f"{np.abs(done_one - done_arb).max()}")
+    assert perf_one["coord_decisions"] == perf_arb["coord_decisions"]
+
+
+def test_scale_shards_speedup(report):
+    """Sharded decision loop >= 3x cheaper at 1000 apps / 8 shards."""
+    scales = {}
+    lines = ["scale shard benchmark "
+             f"({PHASES} accesses per app over {NPARTITIONS} partitions, "
+             "audited-FCFS strategy)"]
+    full_scale = max(SCALES) >= 1000
+    for napps in SCALES:
+        per_shardcount = {}
+        base_cost = None
+        for nshards in SHARD_COUNTS:
+            perf, log, _done = _drive(napps, nshards=nshards)
+            cost = perf["coord_seconds"]
+            if nshards == 1:
+                base_cost = cost
+            speedup = (base_cost / cost) if cost > 0 else math.inf
+            depth = (float(np.mean([len(r.waiting) for r in log]))
+                     if log else 0.0)
+            per_shardcount[str(nshards)] = {
+                "perf": _perf_record(perf),
+                "speedup": round(speedup, 2),
+                "mean_waiting_depth": round(depth, 1),
+            }
+            lines.append(
+                f"  {napps:5d} apps x {nshards} shards: "
+                f"{cost:8.4f} s decision loop -> {speedup:6.2f}x "
+                f"(mean queue depth {depth:7.1f})")
+        scales[str(napps)] = per_shardcount
+
+    record = {
+        "benchmark": "scale_shards",
+        "config": {"scales": list(SCALES), "shard_counts": list(SHARD_COUNTS),
+                   "npartitions": NPARTITIONS, "phases": PHASES,
+                   "dt_arrival": DT_ARRIVAL, "strategy": "fcfs-audited",
+                   "seed": SEED, "full_scale": full_scale},
+        "scales": scales,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_shard.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    floor = ("3x at >= 1000 apps / 8 shards" if full_scale
+             else "none — reduced config")
+    lines.append(f"  floor: {floor}")
+    report("BENCH_shard", "\n".join(lines))
+
+    for napps_str, per_shardcount in scales.items():
+        for nshards_str, entry in per_shardcount.items():
+            assert entry["speedup"] > 0
+            if (full_scale and int(napps_str) >= 1000
+                    and int(nshards_str) == max(SHARD_COUNTS)):
+                assert entry["speedup"] >= 3.0, (
+                    f"{nshards_str} shards only {entry['speedup']:.2f}x "
+                    f"cheaper at {napps_str} apps (needs >= 3x)")

@@ -26,7 +26,7 @@ grain:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..mpisim import (
     ADIOLayer, AccessPattern, Communicator, IOGuard, MPIInfo, NullGuard,
@@ -60,8 +60,22 @@ class IORConfig:
     procs_per_node: int = 1
     cb_buffer_size: int = 4 * 1024 * 1024
     naggregators: Optional[int] = None
+    #: File-system placement on partitioned platforms: ``None`` puts every
+    #: file on the application's stable default partition; a sequence of
+    #: partition indices places file ``f`` of each phase on entry
+    #: ``f % len`` (several distinct entries make this a *span-partition*
+    #: application, coordinated through the cross-shard protocol).
+    #: Ignored (any value) on single-partition machines.
+    partitions: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.partitions is not None:
+            object.__setattr__(self, "partitions",
+                               tuple(int(p) for p in self.partitions))
+            if not self.partitions:
+                raise ValueError("partitions must be None or non-empty")
+            if any(p < 0 for p in self.partitions):
+                raise ValueError(f"negative partition in {self.partitions}")
         if self.nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {self.nprocs}")
         if self.nfiles < 1:
@@ -142,6 +156,11 @@ class IORApp:
             guard=self.guard,
         )
         self.phases: List[PhaseRecord] = []
+        #: Partition footprint of this application's accesses (always
+        #: ``(0,)`` on unpartitioned machines); matches what its CALCioM
+        #: session exchanges for shard routing.
+        self.partitions = platform.app_partitions(config.name,
+                                                  config.partitions)
         self._process: Optional[Process] = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -211,6 +230,8 @@ class IORApp:
         try:
             for f in range(cfg.nfiles):
                 path = f"/{cfg.name}/iter{iteration}/file{f}"
+                self.platform.pin_path(path, self.platform.file_partition(
+                    cfg.name, f, cfg.partitions))
                 stats = yield from self.adio.write_collective(
                     path, cfg.pattern, grain=cfg.grain
                 )

@@ -8,16 +8,20 @@ Public surface:
   guard protocol.
 * Strategies: interfere / FCFS-serialize / interrupt / dynamic.
 * Metrics: CPU-seconds-wasted, sum of interference factors, max slowdown.
+* Sharding: :class:`ShardRouter` / :class:`ArbiterShard` — one arbiter per
+  file-system partition with an ordered-lock cross-shard protocol.
 """
 
 from .api import CalciomRuntime
 from .arbiter import AccessState, Arbiter, CoordinationRound, DecisionRecord
 from .metrics import (
     AccessDescriptor, CpuSecondsWasted, DescriptorSetView, EfficiencyMetric,
-    MaxSlowdown, SumInterferenceFactors, TotalIOTime, make_metric,
+    MaxSlowdown, SumInterferenceFactors, TotalIOTime, WaitingTotals,
+    make_metric,
 )
 from .registry import ApplicationRecord, ApplicationRegistry
 from .session import CalciomSession
+from .sharding import ArbiterShard, ShardRouter
 from .strategies import (
     Action, Decision, DynamicStrategy, FCFSStrategy, InterfereStrategy,
     InterruptStrategy, Strategy, make_strategy,
@@ -26,9 +30,10 @@ from .strategies import (
 __all__ = [
     "CalciomRuntime", "CalciomSession",
     "Arbiter", "AccessState", "CoordinationRound", "DecisionRecord",
+    "ArbiterShard", "ShardRouter",
     "ApplicationRegistry", "ApplicationRecord",
-    "AccessDescriptor", "DescriptorSetView", "EfficiencyMetric",
-    "CpuSecondsWasted",
+    "AccessDescriptor", "DescriptorSetView", "WaitingTotals",
+    "EfficiencyMetric", "CpuSecondsWasted",
     "SumInterferenceFactors", "MaxSlowdown", "TotalIOTime", "make_metric",
     "Strategy", "InterfereStrategy", "FCFSStrategy", "InterruptStrategy",
     "DynamicStrategy", "Action", "Decision", "make_strategy",

@@ -218,7 +218,12 @@ class Arbiter:
             self._round: Optional[CoordinationRound] = None
             self._active_view = DescriptorSetView(
                 self._active, self._desc, sort_key=self._order.__getitem__)
-            self._waiting_view = DescriptorSetView(self._waiting, self._desc)
+            # track_totals: the waiting view maintains the backlog
+            # aggregates (Σ t_alone, Σ nprocs·t_alone, ...) deep-queue
+            # strategies read in O(1); every mutation of the waiting index
+            # below reports through note_append/note_remove.
+            self._waiting_view = DescriptorSetView(self._waiting, self._desc,
+                                                   track_totals=True)
         else:
             self._waiting: List[str] = []     # FIFO arrival order
             self._preempted: List[str] = []   # FIFO preemption order
@@ -369,7 +374,9 @@ class Arbiter:
         if state is AccessState.IDLE:
             return
         t0 = time.perf_counter() if self.perf is not None else 0.0
-        self._waiting.discard(app)
+        if app in self._waiting:
+            self._waiting.discard(app)
+            self._waiting_view.note_remove()
         self._preempted.discard(app)
         self._active.pop(app, None)
         self._state[app] = AccessState.IDLE
@@ -508,6 +515,7 @@ class Arbiter:
     def _enqueue_waiting(self, app: str) -> None:
         self._state[app] = AccessState.WAITING
         self._waiting.add(app)
+        self._waiting_view.note_append(self._desc[app])
         # Register the authorization event now (not lazily in wait()):
         # a same-timestamp grant must deliver grant_latency even if the
         # session's continuation has not resumed yet.
@@ -528,6 +536,7 @@ class Arbiter:
                 return
             if self.batched:
                 self._waiting.discard(app)
+                self._waiting_view.note_remove()
             elif app in self._waiting:
                 self._waiting.remove(app)
             self._activate(app)
@@ -584,7 +593,9 @@ class Arbiter:
                 self._activate(self._preempted.pop_first())
                 return
             if self._waiting:
-                self._activate(self._waiting.pop_first())
+                app = self._waiting.pop_first()
+                self._waiting_view.note_remove()
+                self._activate(app)
             return
         if self.active_descriptors():
             return

@@ -21,13 +21,13 @@ Implemented metrics:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
-    "AccessDescriptor", "DescriptorSetView", "EfficiencyMetric",
-    "CpuSecondsWasted", "SumInterferenceFactors", "MaxSlowdown",
-    "TotalIOTime", "make_metric",
+    "AccessDescriptor", "DescriptorSetView", "WaitingTotals",
+    "EfficiencyMetric", "CpuSecondsWasted", "SumInterferenceFactors",
+    "MaxSlowdown", "TotalIOTime", "make_metric",
 ]
 
 
@@ -49,6 +49,11 @@ class AccessDescriptor:
     access_started: Optional[float] = None  #: time the access began, if it has
     files: int = 1                #: files in the access
     rounds: int = 1               #: collective-buffering rounds
+    #: File-system partitions the access targets (exchanged knowledge like
+    #: everything else here).  The :class:`~repro.core.sharding.ShardRouter`
+    #: routes Inform/Release to the arbiter shard(s) owning these; on
+    #: unpartitioned machines every access targets partition 0.
+    partitions: Tuple[int, ...] = (0,)
 
     def __post_init__(self) -> None:
         if self.remaining_bytes == 0.0:
@@ -66,7 +71,7 @@ class AccessDescriptor:
             app=self.app, nprocs=self.nprocs, total_bytes=self.total_bytes,
             t_alone=self.t_alone, remaining_bytes=self.remaining_bytes,
             access_started=self.access_started, files=self.files,
-            rounds=self.rounds,
+            rounds=self.rounds, partitions=self.partitions,
         )
 
 
@@ -84,15 +89,34 @@ class DescriptorSetView:
     Iteration yields :class:`AccessDescriptor`\\ s in the index's canonical
     order (first-decision order for actives, FIFO arrival order for
     waiters), matching what the old list-building arbiter produced.
+
+    Running aggregates
+    ------------------
+    With ``track_totals=True`` the view additionally maintains the
+    :class:`WaitingTotals` deep-backlog strategies need (Σ ``t_alone``,
+    Σ ``nprocs * t_alone``, count of positive ``t_alone``) so a decision
+    under an n-deep waiting queue costs O(1) instead of O(n).  The owner
+    of the underlying index reports mutations through :meth:`note_append`
+    / :meth:`note_remove`.  Exactness discipline: appends *extend* the
+    cached left-to-right float fold (bit-identical to re-summing the
+    grown queue in FIFO order), while any removal drops the cache so the
+    next read recomputes a fresh fold — the cached values are therefore
+    always bit-identical to ``sum(... for d in view)``, which is what
+    keeps indexed-arbiter decision costs equal to the unbatched oracle's.
     """
 
-    __slots__ = ("_names", "_descriptors", "_sort_key")
+    __slots__ = ("_names", "_descriptors", "_sort_key", "_totals")
 
     def __init__(self, names, descriptors: Mapping[str, AccessDescriptor],
-                 sort_key: Optional[Callable[[str], int]] = None):
+                 sort_key: Optional[Callable[[str], int]] = None,
+                 track_totals: bool = False):
         self._names = names          #: live container of app names
         self._descriptors = descriptors
         self._sort_key = sort_key    #: None = container iteration order
+        self._totals: Optional["WaitingTotals"] = None
+        if track_totals:
+            self._totals = WaitingTotals()
+            self._totals.valid = False
 
     def _ordered_names(self) -> List[str]:
         if self._sort_key is None:
@@ -117,12 +141,80 @@ class DescriptorSetView:
         # O(k log k): views are made for iteration; indexing materializes.
         return list(self)[index]
 
+    # -- running aggregates (track_totals=True views) ----------------------
+    def note_append(self, descriptor: AccessDescriptor) -> None:
+        """The underlying index appended ``descriptor``'s app at the back."""
+        totals = self._totals
+        if totals is not None and totals.valid:
+            totals.add(descriptor)
+
+    def note_remove(self) -> None:
+        """The underlying index removed an app (any position): drop cache."""
+        if self._totals is not None:
+            self._totals.valid = False
+
+    def totals(self) -> "WaitingTotals":
+        """Current :class:`WaitingTotals` — O(1) when cached, else a fresh
+        FIFO-order fold over the view (then cached if tracking)."""
+        totals = self._totals
+        if totals is not None and totals.valid:
+            return totals
+        fresh = WaitingTotals.fold(self)
+        if totals is not None:
+            self._totals = fresh
+        return fresh
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<DescriptorSetView {self._ordered_names()!r}>"
 
 
+@dataclass
+class WaitingTotals:
+    """Backlog aggregates of a waiting queue, in FIFO fold order.
+
+    Every waiting application is predicted to run for its own ``t_alone``
+    under *any* option a strategy evaluates (it is already queued; the
+    option only reorders actives and the incoming access), so the queue's
+    contribution to backlog and to every decomposable metric reduces to
+    these three numbers.  ``fold`` computes them left-to-right exactly as
+    the historical per-decision ``sum(...)`` scans did, which is what lets
+    cached and fresh values compare bit-identical.
+    """
+
+    t_alone: float = 0.0         #: Σ t_alone over the queue
+    nprocs_t_alone: float = 0.0  #: Σ nprocs * t_alone (CPU-seconds weight)
+    positive: int = 0            #: queue members with t_alone > 0
+    count: int = 0               #: queue length
+    valid: bool = field(default=True, compare=False)
+
+    @classmethod
+    def fold(cls, waiting) -> "WaitingTotals":
+        totals = cls()
+        for d in waiting:
+            totals.add(d)
+        return totals
+
+    def add(self, d: AccessDescriptor) -> None:
+        """Extend the fold with one descriptor appended at the back."""
+        self.t_alone += d.t_alone
+        self.nprocs_t_alone += d.nprocs * d.t_alone
+        if d.t_alone > 0:
+            self.positive += 1
+        self.count += 1
+
+
 class EfficiencyMetric(ABC):
-    """Scalar cost of a predicted outcome; lower is better."""
+    """Scalar cost of a predicted outcome; lower is better.
+
+    Decomposition contract (optional, O(1) deep-backlog support)
+    -------------------------------------------------------------
+    Waiting applications are predicted at their own ``t_alone`` under every
+    option, so metrics whose cost splits as ``combine(cost(rest),
+    waiting_part)`` can answer :meth:`alone_cost` from a queue's
+    :class:`WaitingTotals` instead of folding the whole queue per option.
+    The built-ins all do; custom metrics inherit the ``None`` default and
+    strategies fall back to the full per-app prediction dicts.
+    """
 
     name: str = "metric"
 
@@ -140,6 +232,16 @@ class EfficiencyMetric(ABC):
             app -> exchanged knowledge (for weights and t_alone baselines).
         """
 
+    def alone_cost(self, totals: WaitingTotals) -> Optional[float]:
+        """Cost contribution of apps predicted at their own ``t_alone``,
+        from queue aggregates alone — or ``None`` if this metric cannot
+        decompose (strategies then fall back to full prediction dicts)."""
+        return None
+
+    def combine(self, a: float, b: float) -> float:
+        """Fold two disjoint cost contributions (sum-like by default)."""
+        return a + b
+
 
 class CpuSecondsWasted(EfficiencyMetric):
     """f = Σ N_X · T_X — CPU time not spent on science (paper Fig 11)."""
@@ -149,6 +251,9 @@ class CpuSecondsWasted(EfficiencyMetric):
     def cost(self, predicted_io_times, descriptors):
         return sum(descriptors[app].nprocs * t
                    for app, t in predicted_io_times.items())
+
+    def alone_cost(self, totals):
+        return totals.nprocs_t_alone
 
 
 class SumInterferenceFactors(EfficiencyMetric):
@@ -162,6 +267,10 @@ class SumInterferenceFactors(EfficiencyMetric):
             t_alone = descriptors[app].t_alone
             total += t / t_alone if t_alone > 0 else 0.0
         return total
+
+    def alone_cost(self, totals):
+        # Each waiting app contributes t_alone / t_alone = 1 (when defined).
+        return float(totals.positive)
 
 
 class MaxSlowdown(EfficiencyMetric):
@@ -177,6 +286,12 @@ class MaxSlowdown(EfficiencyMetric):
                 worst = max(worst, t / t_alone)
         return worst
 
+    def alone_cost(self, totals):
+        return 1.0 if totals.positive else 0.0
+
+    def combine(self, a, b):
+        return max(a, b)
+
 
 class TotalIOTime(EfficiencyMetric):
     """f = Σ T_X — ignores application size entirely."""
@@ -185,6 +300,9 @@ class TotalIOTime(EfficiencyMetric):
 
     def cost(self, predicted_io_times, descriptors):
         return sum(predicted_io_times.values())
+
+    def alone_cost(self, totals):
+        return totals.t_alone
 
 
 _METRICS = {

@@ -20,7 +20,7 @@ but tiny next to I/O phases, matching the paper's "negligible cost" claim.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Tuple
 
 from ..mpisim import Communicator, IOGuard, MPIInfo
 from ..simcore import SimulationError, Simulator
@@ -40,8 +40,11 @@ class CalciomSession(IOGuard):
                  client: str, nprocs: int, estimator,
                  comm: Optional[Communicator] = None,
                  coordination_latency: float = 50e-6,
-                 perf=None):
+                 perf=None, partitions: Optional[Tuple[int, ...]] = None):
         self.sim = sim
+        #: The coordination endpoint: an :class:`~repro.core.arbiter.Arbiter`
+        #: or a :class:`~repro.core.sharding.ShardRouter` (same protocol
+        #: surface) — the session never needs to know which.
         self.arbiter = arbiter
         self.app = app
         self.client = client
@@ -50,6 +53,11 @@ class CalciomSession(IOGuard):
         self.comm = comm
         self.coordination_latency = float(coordination_latency)
         self.perf = perf
+        #: File-system partitions this application's accesses target —
+        #: exchanged on every fresh Inform so a sharded coordination layer
+        #: can route to the owning arbiter shard(s).
+        self.partitions: Tuple[int, ...] = (tuple(int(p) for p in partitions)
+                                            if partitions else (0,))
         self._info_stack: List[MPIInfo] = []
         self._descriptor: Optional[AccessDescriptor] = None
         self.total_wait_time = 0.0
@@ -157,6 +165,7 @@ class CalciomSession(IOGuard):
 
     def _build_descriptor(self, info: MPIInfo) -> AccessDescriptor:
         total = info.get_float("total_bytes")
+        partitions = info.get("partitions")
         return AccessDescriptor(
             app=self.app,
             nprocs=info.get_int("nprocs", self.nprocs),
@@ -164,6 +173,8 @@ class CalciomSession(IOGuard):
             t_alone=self._estimate_t_alone(self.nprocs, total),
             files=info.get_int("files", 1),
             rounds=info.get_int("rounds", 1),
+            partitions=(tuple(int(p) for p in partitions)
+                        if partitions else self.partitions),
         )
 
     def _refresh_descriptor(self, info: MPIInfo) -> None:

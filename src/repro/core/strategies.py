@@ -21,7 +21,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .metrics import AccessDescriptor, CpuSecondsWasted, EfficiencyMetric, make_metric
+from .metrics import (
+    AccessDescriptor, CpuSecondsWasted, EfficiencyMetric, WaitingTotals,
+    make_metric,
+)
 
 __all__ = [
     "Action", "Decision", "Strategy", "InterfereStrategy", "FCFSStrategy",
@@ -31,6 +34,12 @@ __all__ = [
 #: Strategy classes already warned about the list-materialization shim
 #: (one DeprecationWarning per class, not per decision).
 _VIEW_SHIM_WARNED = set()
+
+
+def _capture_totals(waiting) -> WaitingTotals:
+    """Waiting-queue aggregates: O(1) from a tracking view, else a fold."""
+    totals = getattr(waiting, "totals", None)
+    return totals() if totals is not None else WaitingTotals.fold(waiting)
 
 
 class Action(Enum):
@@ -59,21 +68,22 @@ class Decision:
 class Strategy(ABC):
     """Policy mapping (running accesses, incoming access) to a decision.
 
-    Contract (since the indexed-arbiter refactor): ``active`` and
-    ``waiting`` are *read-only views* over the arbiter's live indexes
-    (:class:`~repro.core.metrics.DescriptorSetView`) — iterable, sized,
-    truth-testable, but not lists and never to be mutated.  Strategies that
-    are view-clean declare ``supports_views = True``; for legacy strategies
-    the arbiter materializes plain lists per decision through the default
-    :meth:`decide_batch` (with a once-per-class DeprecationWarning).
+    Contract: ``active`` and ``waiting`` are *read-only views* over the
+    arbiter's live indexes (:class:`~repro.core.metrics.DescriptorSetView`)
+    — iterable, sized, truth-testable, but not lists and never to be
+    mutated.  ``supports_views = True`` is the default (and only)
+    contract now; the legacy list-materialization shim survives one more
+    release as an explicit escape hatch — a strategy class that sets
+    ``supports_views = False`` still gets plain lists per decision, at
+    the price of a once-per-class DeprecationWarning.
     """
 
     name: str = "strategy"
 
-    #: Set True when :meth:`decide` treats its ``active``/``waiting``
-    #: arguments as read-only iterables.  False (the legacy default)
-    #: makes the arbiter materialize lists for every decision.
-    supports_views: bool = False
+    #: True (the contract): :meth:`decide` treats ``active``/``waiting``
+    #: as read-only iterables.  Setting False opts into the deprecated
+    #: per-decision list materialization shim, scheduled for removal.
+    supports_views: bool = True
 
     @abstractmethod
     def decide(self, now: float, active: Sequence[AccessDescriptor],
@@ -104,9 +114,10 @@ class Strategy(ABC):
         if cls not in _VIEW_SHIM_WARNED:
             _VIEW_SHIM_WARNED.add(cls)
             warnings.warn(
-                f"{cls.__name__}.decide receives read-only arbiter views "
-                "now; materializing lists for compatibility. Set "
-                f"{cls.__name__}.supports_views = True and treat the "
+                f"{cls.__name__} sets supports_views = False; the "
+                "list-materialization shim is deprecated and will be "
+                "removed in the next release. Drop the attribute (views "
+                "are the default contract now) and treat the "
                 "active/waiting arguments as read-only iterables.",
                 DeprecationWarning, stacklevel=3,
             )
@@ -144,6 +155,25 @@ class FCFSStrategy(Strategy):
         if active or waiting:
             return Decision(Action.WAIT)
         return Decision(Action.GO)
+
+    def decide_batch(self, now, active, waiting, incomings):
+        # Batch-aware: the machine's busyness is evaluated once per
+        # coordination round.  The first incoming can only GO on an idle
+        # machine, and its own admission (GO -> active, WAIT -> waiting)
+        # makes the machine busy for every later incoming in the round —
+        # exactly what N per-incoming re-checks of the live views decide.
+        if type(self).decide is not FCFSStrategy.decide:
+            # A subclass customized decide(): its per-incoming logic (extra
+            # audit fields, tweaked policy) must keep running.
+            yield from super().decide_batch(now, active, waiting, incomings)
+            return
+        busy = bool(active) or bool(waiting)
+        for _ in incomings:
+            if busy:
+                yield Decision(Action.WAIT)
+            else:
+                busy = True
+                yield Decision(Action.GO)
 
 
 class InterruptStrategy(Strategy):
@@ -210,12 +240,91 @@ class DynamicStrategy(Strategy):
         self.capacity = capacity
 
     def decide(self, now, active, waiting, incoming) -> Decision:
+        return self._decide_one(now, active, waiting, incoming,
+                                _capture_totals(waiting))
+
+    def decide_batch(self, now, active, waiting, incomings):
+        # Batch-aware: the waiting-queue aggregates are shared across the
+        # round.  On a tracking view ``_capture_totals`` is O(1) and stays
+        # current as the arbiter applies each decision (a WAIT/DELAY
+        # extends the view's running fold); the one-off fold for plain
+        # sequences is paid once per round, not once per incoming.
+        if type(self).decide is not DynamicStrategy.decide:
+            # A subclass customized decide(): preserve its logic.
+            yield from super().decide_batch(now, active, waiting, incomings)
+            return
+        # Captured once per round: a tracking view's totals object is live
+        # (the arbiter's WAIT applications extend it in place), and a
+        # plain sequence's one-off fold stays valid because a round only
+        # ever appends to the waiting queue.
+        totals = _capture_totals(waiting)
+        for incoming in incomings:
+            yield self._decide_one(now, active, waiting, incoming, totals)
+
+    def _decide_one(self, now, active, waiting, incoming,
+                    totals: WaitingTotals) -> Decision:
         if not active and not waiting:
             return Decision(Action.GO)
+        waiting_part = self.metric.alone_cost(totals)
+        if waiting_part is None:
+            # Non-decomposable custom metric: full prediction dicts.
+            return self._decide_full(now, active, waiting, incoming)
+        combine = self.metric.combine
+        actives = list(active)
+        descriptors = {d.app: d for d in actives}
+        descriptors[incoming.app] = incoming
+
+        # Option 1 — FCFS: incoming runs after everything already admitted.
+        # Every waiting app is predicted at its own t_alone under *all*
+        # options, so the queue enters each cost as the same O(1)
+        # ``waiting_part`` instead of an O(n) per-option fold.
+        backlog = sum(d.remaining_t for d in actives) + totals.t_alone
+        fcfs_times = {d.app: self._elapsed(d, now) + d.remaining_t
+                      for d in actives}
+        fcfs_times[incoming.app] = backlog + incoming.t_alone
+
+        # Option 2 — interrupt: incoming runs now; actives pause and finish
+        # after it (plus anything already queued keeps waiting).
+        int_times = {d.app: (self._elapsed(d, now) + incoming.t_alone
+                             + d.remaining_t)
+                     for d in actives}
+        int_times[incoming.app] = incoming.t_alone
+
+        costs = {
+            "fcfs": combine(self.metric.cost(fcfs_times, descriptors),
+                            waiting_part),
+            "interrupt": combine(self.metric.cost(int_times, descriptors),
+                                 waiting_part),
+        }
+
+        if self.consider_interference:
+            share_times = self._interference_prediction(now, actives,
+                                                        incoming)
+            costs["interfere"] = combine(
+                self.metric.cost(share_times, descriptors), waiting_part)
+
+        best_delay = 0.0
+        if self.consider_delay and actives:
+            horizon = max(d.remaining_t for d in actives)
+            for frac in (0.25, 0.5, 0.75):
+                delta = frac * horizon
+                delay_times = self._delay_prediction(now, actives, incoming,
+                                                     delta)
+                key = f"delay@{frac:.2f}"
+                costs[key] = combine(
+                    self.metric.cost(delay_times, descriptors), waiting_part)
+                if costs[key] == min(costs.values()):
+                    best_delay = delta
+
+        return self._verdict(costs, best_delay)
+
+    def _decide_full(self, now, active, waiting, incoming) -> Decision:
+        """The historical whole-population cost evaluation (O(n) per
+        inform): kept for metrics that cannot decompose a waiting queue's
+        contribution out of their cost."""
         involved = list(active) + list(waiting) + [incoming]
         descriptors = {d.app: d for d in involved}
 
-        # Option 1 — FCFS: incoming runs after everything already admitted.
         backlog = sum(d.remaining_t for d in active) + \
             sum(d.t_alone for d in waiting)
         fcfs_times = {}
@@ -227,8 +336,6 @@ class DynamicStrategy(Strategy):
             fcfs_times[d.app] = d.t_alone
         fcfs_times[incoming.app] = backlog + incoming.t_alone
 
-        # Option 2 — interrupt: incoming runs now; actives pause and finish
-        # after it (plus anything already queued keeps waiting).
         int_times = {}
         for d in active:
             int_times[d.app] = (self._elapsed(d, now) + incoming.t_alone
@@ -262,6 +369,10 @@ class DynamicStrategy(Strategy):
                 if costs[key] == min(costs.values()):
                     best_delay = delta
 
+        return self._verdict(costs, best_delay)
+
+    @staticmethod
+    def _verdict(costs: Dict[str, float], best_delay: float) -> Decision:
         best = min(costs, key=costs.get)
         if best == "interrupt":
             return Decision(Action.INTERRUPT, costs=costs)

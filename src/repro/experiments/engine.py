@@ -127,7 +127,8 @@ def execute_spec(spec: ExperimentSpec) -> "ExperimentResult":
             app = IORApp(platform, cfg)
             if runtime is not None:
                 session = runtime.session(cfg.name, app.client, cfg.nprocs,
-                                          app.comm)
+                                          app.comm,
+                                          partitions=cfg.partitions)
                 app.guard = session
                 app.adio.guard = session
             apps.append(app)

@@ -213,16 +213,20 @@ def three_way_contention(nprocs: int = 100,
 # ---------------------------------------------------------------------------
 
 def many_writers_platform(nservers: int = 32,
-                          allocator: str = "incremental") -> PlatformConfig:
+                          allocator: str = "incremental",
+                          npartitions: int = 1) -> PlatformConfig:
     """A wide machine for many-application runs: per-server components.
 
     ``pool_servers=False`` keeps every data server a distinct endpoint, and
     the huge stripe unit places each file wholly on one (path-hashed)
     server — so applications writing different files form *disjoint*
     link/flow components, the regime the incremental allocator exploits.
+    ``npartitions > 1`` splits the servers into that many independent file
+    systems (the sharded-coordination scenarios' machines).
     """
     return PlatformConfig(
-        name=f"many-writers-{nservers}s",
+        name=f"many-writers-{nservers}s"
+             + (f"-{npartitions}p" if npartitions > 1 else ""),
         nservers=nservers,
         disk_bandwidth=100e6,
         per_core_bandwidth=10e6,
@@ -231,6 +235,7 @@ def many_writers_platform(nservers: int = 32,
         latency=1e-5,
         pool_servers=False,
         allocator=allocator,
+        npartitions=npartitions,
         description=f"{nservers} independent servers, one file per server",
     )
 
@@ -330,3 +335,120 @@ def swf_replay(napps: int = 100, hours: float = 6.0,
     arbiter_opts = {"decision_log_limit": SCALE_DECISION_LOG_LIMIT}
     arbiter_opts.update(arbiter or {})
     return [spec.with_(arbiter=arbiter_opts)]
+
+
+# ---------------------------------------------------------------------------
+# Sharded-coordination scenarios (multi-partition platforms)
+# ---------------------------------------------------------------------------
+
+@register_scenario(
+    "sharded-writers",
+    "Sharded coordination scale scenario: N staggered writers pinned "
+    "round-robin onto a multi-partition machine, one arbiter shard per "
+    "partition (arbiter={'shards': 1} for the single-arbiter baseline) "
+    "(meta: napps, npartitions, shards).")
+def sharded_writers(napps: int = 200, npartitions: int = 8,
+                    nservers: int = 32, strategy: Optional[Any] = "fcfs",
+                    shards: Optional[int] = None, phases: int = 3,
+                    bytes_per_process: int = 4_000_000,
+                    spread: float = 60.0, period: float = 30.0,
+                    seed: int = 7, measure_alone: bool = False,
+                    arbiter: Optional[Dict[str, Any]] = None
+                    ) -> List[ExperimentSpec]:
+    """The many-writers mix on a partitioned machine: application ``i`` is
+    pinned (data *and* coordination) to partition ``i % npartitions``, so
+    with one shard per partition the decision load divides evenly and no
+    access ever crosses shards.  ``shards=1`` runs the identical workload
+    under a single machine-wide arbiter — the scale-out comparison pair
+    ``benchmarks/test_scale_shards.py`` measures."""
+    if napps < 1:
+        raise ValueError(f"napps must be >= 1, got {napps}")
+    if npartitions < 1:
+        raise ValueError(f"npartitions must be >= 1, got {npartitions}")
+    nshards = npartitions if shards is None else int(shards)
+    rng = ensure_rng(seed)
+    platform = many_writers_platform(nservers, npartitions=npartitions)
+    workloads = []
+    for i in range(napps):
+        nprocs = int(rng.choice([4, 8, 16, 32]))
+        workloads.append(WorkloadSpec(
+            name=f"app{i:03d}",
+            nprocs=nprocs,
+            pattern=Contiguous(block_size=bytes_per_process),
+            iterations=phases,
+            period=float(period),
+            start_time=float(rng.uniform(0.0, spread)),
+            grain="round",
+            partitions=(i % npartitions,),
+        ))
+    arbiter_opts = {"decision_log_limit": SCALE_DECISION_LOG_LIMIT,
+                    "shards": nshards}
+    arbiter_opts.update(arbiter or {})
+    return [ExperimentSpec(
+        platform=platform, workloads=tuple(workloads), strategy=strategy,
+        name="sharded-writers", measure_alone=measure_alone,
+        meta={"napps": napps, "npartitions": npartitions,
+              "shards": arbiter_opts.get("shards"),
+              "scenario": "sharded-writers"},
+        arbiter=arbiter_opts,
+    )]
+
+
+@register_scenario(
+    "cross-partition",
+    "Cross-shard protocol scenario: pinned writers plus span-partition "
+    "applications whose two files live on adjacent partitions, exercising "
+    "the ordered-lock two-phase grant (meta: napps, npartitions, nspan).")
+def cross_partition(napps: int = 24, npartitions: int = 4,
+                    nservers: int = 16, strategy: Optional[Any] = "fcfs",
+                    span_every: int = 3, phases: int = 2,
+                    bytes_per_process: int = 2_000_000,
+                    spread: float = 20.0, period: float = 15.0,
+                    seed: int = 11, measure_alone: bool = False,
+                    arbiter: Optional[Dict[str, Any]] = None
+                    ) -> List[ExperimentSpec]:
+    """Every ``span_every``-th application writes two files on *adjacent*
+    partitions (``partitions=(p, p+1)``, ``nfiles=2``) and must therefore
+    hold grants on both owning shards at once; the rest stay pinned.  The
+    mix keeps every shard busy while span accesses thread the ordered
+    two-phase grant through them."""
+    if napps < 1:
+        raise ValueError(f"napps must be >= 1, got {napps}")
+    if npartitions < 2:
+        raise ValueError("cross-partition needs npartitions >= 2, "
+                         f"got {npartitions}")
+    rng = ensure_rng(seed)
+    platform = many_writers_platform(nservers, npartitions=npartitions)
+    workloads = []
+    nspan = 0
+    for i in range(napps):
+        nprocs = int(rng.choice([4, 8, 16]))
+        start = float(rng.uniform(0.0, spread))
+        p = i % npartitions
+        if span_every > 0 and i % span_every == 0:
+            nspan += 1
+            partitions = (p, (p + 1) % npartitions)
+            nfiles = 2
+        else:
+            partitions = (p,)
+            nfiles = 1
+        workloads.append(WorkloadSpec(
+            name=f"app{i:03d}",
+            nprocs=nprocs,
+            pattern=Contiguous(block_size=bytes_per_process),
+            nfiles=nfiles,
+            iterations=phases,
+            period=float(period),
+            start_time=start,
+            grain="round",
+            partitions=partitions,
+        ))
+    arbiter_opts = {"decision_log_limit": SCALE_DECISION_LOG_LIMIT}
+    arbiter_opts.update(arbiter or {})
+    return [ExperimentSpec(
+        platform=platform, workloads=tuple(workloads), strategy=strategy,
+        name="cross-partition", measure_alone=measure_alone,
+        meta={"napps": napps, "npartitions": npartitions, "nspan": nspan,
+              "scenario": "cross-partition"},
+        arbiter=arbiter_opts,
+    )]

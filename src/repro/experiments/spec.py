@@ -128,8 +128,13 @@ class WorkloadSpec:
     procs_per_node: int = 1
     cb_buffer_size: int = 4 * 1024 * 1024
     naggregators: Optional[int] = None
+    partitions: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
+        # Normalize so JSON round-trips (lists) compare equal to literals.
+        if self.partitions is not None:
+            object.__setattr__(self, "partitions",
+                               tuple(int(p) for p in self.partitions))
         # Eager validation: constructing the IORConfig runs its checks.
         self.to_ior()
 

@@ -30,6 +30,11 @@ counter                    meaning
 ``wall_seconds``           host wall-clock of the run (attached by the engine)
 =========================  ====================================================
 
+Under sharded coordination (see :mod:`repro.core.sharding`) every
+``coord_*`` counter above stays the machine-wide total, and each arbiter
+shard additionally bumps a ``coord_*_shard<i>`` twin so per-shard load
+(balance, hot shards) is visible in the same ``ExperimentResult.perf``.
+
 Derived ratios are what you read: ``flows_touched / rate_recomputations``
 is the mean dirty-component size (≈ total active flows under the global
 allocator, ≈ per-bottleneck flow count under the incremental one), and
@@ -144,6 +149,11 @@ def _arbiter_speedup(record: Mapping[str, Any], scale: str) -> float:
     return float(record["scales"][scale]["speedup"])
 
 
+def _shard_speedup(record: Mapping[str, Any], scale: str,
+                   nshards: str) -> float:
+    return float(record["scales"][scale][nshards]["speedup"])
+
+
 def check_perf_regression(fresh: Mapping[str, Any],
                           committed: Mapping[str, Any],
                           kind: str,
@@ -188,6 +198,25 @@ def check_perf_regression(fresh: Mapping[str, Any],
         fresh_speedup = _arbiter_speedup(fresh, scale)
         committed_speedup = _arbiter_speedup(committed, scale)
         kind = f"arbiter@{scale}"
+    elif kind == "shard":
+        common = sorted(set(fresh.get("scales", {}))
+                        & set(committed.get("scales", {})), key=float)
+        if not common:
+            return True, "shard records share no scale; skipping gate"
+        ignore = ("scales", "full_scale")
+        if (_without(fresh.get("config"), ignore)
+                != _without(committed.get("config"), ignore)):
+            return True, ("shard: per-scale workload parameters differ; "
+                          "speedups are not comparable — skipping gate")
+        scale = common[-1]
+        shards = sorted(set(fresh["scales"][scale])
+                        & set(committed["scales"][scale]), key=float)
+        if not shards:
+            return True, "shard records share no shard count; skipping gate"
+        nshards = shards[-1]
+        fresh_speedup = _shard_speedup(fresh, scale, nshards)
+        committed_speedup = _shard_speedup(committed, scale, nshards)
+        kind = f"shard@{scale}x{nshards}"
     else:
         raise ValueError(f"unknown benchmark kind {kind!r}")
 

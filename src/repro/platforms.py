@@ -26,15 +26,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .network import Fabric
 from .perf import PerfCounters
 from .simcore import FlowNetwork, SimulationError, Simulator
-from .storage import Disk, ParallelFileSystem, StorageServer
+from .storage import Disk, ParallelFileSystem, PartitionedFileSystem, StorageServer
+from .storage.partitioned import default_partition
 
 __all__ = ["PlatformConfig", "Platform", "surveyor", "grid5000_nancy",
            "grid5000_rennes"]
+
+#: A workload's declared partition placement (see Platform.app_partitions).
+_OptionalPartitions = Optional[Sequence[int]]
 
 
 @dataclass(frozen=True)
@@ -71,6 +75,14 @@ class PlatformConfig:
     #: (the retained reference oracle that re-prices every flow on every
     #: change; identical rates, slower).
     allocator: str = "incremental"
+    #: File-system partitions: the ``nservers`` data servers are split into
+    #: this many disjoint groups, each running its own
+    #: :class:`~repro.storage.ParallelFileSystem` (sizes as even as
+    #: possible, partition-major server order).  ``1`` (the default, and
+    #: every paper testbed) keeps the single machine-wide file system.
+    #: Partitions are what arbiter shards own — see
+    #: :mod:`repro.core.sharding`.
+    npartitions: int = 1
     description: str = ""
 
     @property
@@ -81,16 +93,33 @@ class PlatformConfig:
         return self.per_core_bandwidth
 
     @property
-    def aggregate_bandwidth(self) -> float:
-        """Peak file-system ingest with all servers streaming, B/s."""
+    def server_ingest_bandwidth(self) -> float:
+        """Peak ingest of one data server (cache speed when enabled,
+        bounded by its fabric edge), B/s."""
         per_server = self.disk_bandwidth if self.cache_bandwidth is None \
             else self.cache_bandwidth
-        return self.nservers * min(per_server, self.server_link_bandwidth)
+        return min(per_server, self.server_link_bandwidth)
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Peak file-system ingest with all servers streaming, B/s."""
+        return self.nservers * self.server_ingest_bandwidth
 
     @property
     def aggregate_disk_bandwidth(self) -> float:
         """Sustained (post-cache) drain bandwidth, B/s."""
         return self.nservers * min(self.disk_bandwidth, self.server_link_bandwidth)
+
+    @property
+    def partition_sizes(self) -> Tuple[int, ...]:
+        """Data servers per partition (as even as possible, extras first)."""
+        base, extra = divmod(self.nservers, self.npartitions)
+        return tuple(base + (1 if p < extra else 0)
+                     for p in range(self.npartitions))
+
+    def partition_bandwidth(self, partition: int) -> float:
+        """Peak ingest of one partition's server group, B/s."""
+        return self.partition_sizes[partition] * self.server_ingest_bandwidth
 
     def with_(self, **changes) -> "PlatformConfig":
         """A modified copy (e.g. ``cfg.with_(scheduler='fifo')``)."""
@@ -106,6 +135,13 @@ class Platform:
                 f"allocator must be 'incremental' or 'global', "
                 f"got {config.allocator!r}"
             )
+        if config.npartitions < 1:
+            raise SimulationError(
+                f"npartitions must be >= 1, got {config.npartitions}")
+        if config.npartitions > config.nservers:
+            raise SimulationError(
+                f"npartitions ({config.npartitions}) cannot exceed "
+                f"nservers ({config.nservers})")
         self.config = config
         self.perf = PerfCounters()
         self.sim = Simulator(perf=self.perf)
@@ -115,29 +151,47 @@ class Platform:
         self.fabric = Fabric(self.sim, self.net, latency=config.latency)
         self.fabric.add_switch("switch")
         self.servers = []
-        n_physical = 1 if config.pool_servers else config.nservers
-        scale = config.nservers if config.pool_servers else 1
-        for i in range(n_physical):
-            server = StorageServer(
-                self.sim, self.net, self.fabric, name=f"server{i}",
-                disk=Disk(scale * config.disk_bandwidth, config.seek_penalty),
-                cache_bandwidth=(None if config.cache_bandwidth is None
-                                 else scale * config.cache_bandwidth),
-                cache_capacity=(None if config.cache_capacity is None
-                                else scale * config.cache_capacity),
-                scheduler=config.scheduler,
-            )
-            link_bw = config.server_link_bandwidth
-            if math.isinf(link_bw):
-                # The fabric needs a finite edge; make it non-binding.
-                link_bw = 1e3 * max(
-                    config.disk_bandwidth, config.cache_bandwidth or 0.0
+        #: One :class:`~repro.storage.ParallelFileSystem` per partition
+        #: (disjoint server groups).  With one partition this is the whole
+        #: machine and ``self.pfs`` *is* ``partitions[0]``.
+        self.partitions: List[ParallelFileSystem] = []
+        index = 0
+        for psize in config.partition_sizes:
+            group = []
+            n_physical = 1 if config.pool_servers else psize
+            scale = psize if config.pool_servers else 1
+            for _ in range(n_physical):
+                server = StorageServer(
+                    self.sim, self.net, self.fabric, name=f"server{index}",
+                    disk=Disk(scale * config.disk_bandwidth,
+                              config.seek_penalty),
+                    cache_bandwidth=(None if config.cache_bandwidth is None
+                                     else scale * config.cache_bandwidth),
+                    cache_capacity=(None if config.cache_capacity is None
+                                    else scale * config.cache_capacity),
+                    scheduler=config.scheduler,
                 )
-            self.fabric.add_edge("switch", server.name, scale * link_bw)
-            self.servers.append(server)
-        self.pfs = ParallelFileSystem(
-            self.sim, self.fabric, self.servers, stripe_size=config.stripe_size
-        )
+                index += 1
+                link_bw = config.server_link_bandwidth
+                if math.isinf(link_bw):
+                    # The fabric needs a finite edge; make it non-binding.
+                    link_bw = 1e3 * max(
+                        config.disk_bandwidth, config.cache_bandwidth or 0.0
+                    )
+                self.fabric.add_edge("switch", server.name, scale * link_bw)
+                group.append(server)
+                self.servers.append(server)
+            self.partitions.append(ParallelFileSystem(
+                self.sim, self.fabric, group,
+                stripe_size=config.stripe_size))
+        #: The client-facing file system: the partition itself on
+        #: single-partition machines (bit-identical to the historical
+        #: layout), a path-routing facade across partitions otherwise.
+        self.pfs: Union[ParallelFileSystem, PartitionedFileSystem]
+        if config.npartitions == 1:
+            self.pfs = self.partitions[0]
+        else:
+            self.pfs = PartitionedFileSystem(self.sim, self.partitions)
         self._clients: Dict[str, int] = {}
 
     # -- clients ---------------------------------------------------------------
@@ -160,6 +214,41 @@ class Platform:
     def client_bandwidth(self, name: str) -> float:
         """Registered aggregate uplink bandwidth of a client, B/s."""
         return self._clients[name] * self.config.per_core_bandwidth
+
+    # -- partitions --------------------------------------------------------
+    @property
+    def npartitions(self) -> int:
+        return self.config.npartitions
+
+    def app_partitions(self, name: str,
+                       requested: _OptionalPartitions = None
+                       ) -> Tuple[int, ...]:
+        """The partition footprint of an application's accesses.
+
+        ``requested`` is the workload's declared placement (a sequence of
+        partition indices; file *f* of a phase lands on entry ``f % len``);
+        ``None`` pins the whole application to its stable default partition
+        — the same hash rule :class:`~repro.storage.PartitionedFileSystem`
+        routes unpinned paths by, so coordination routing and data
+        placement agree by construction.
+        """
+        nparts = self.config.npartitions
+        if requested:
+            return tuple(sorted({int(p) % nparts for p in requested}))
+        return (default_partition(name, nparts),)
+
+    def file_partition(self, name: str, findex: int,
+                       requested: _OptionalPartitions = None) -> int:
+        """The partition holding file ``findex`` of one of ``name``'s phases."""
+        nparts = self.config.npartitions
+        if requested:
+            return int(requested[findex % len(requested)]) % nparts
+        return default_partition(name, nparts)
+
+    def pin_path(self, path: str, partition: int) -> None:
+        """Pin a file path to a partition (no-op on unpartitioned machines)."""
+        if self.config.npartitions > 1:
+            self.pfs.pin(path, partition)
 
     # -- analytics ---------------------------------------------------------------
     def standalone_write_time(self, nprocs: int, total_bytes: float) -> float:

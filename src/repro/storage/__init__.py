@@ -2,6 +2,7 @@
 
 from .cache import WriteBackCache
 from .disk import Disk
+from .partitioned import PartitionedFileSystem
 from .pfs import FileMeta, ParallelFileSystem
 from .requests import IORequest
 from .scheduler import (
@@ -13,7 +14,7 @@ from .striping import StripeLayout
 
 __all__ = [
     "Disk", "WriteBackCache", "StorageServer", "ParallelFileSystem",
-    "FileMeta", "IORequest", "StripeLayout",
+    "PartitionedFileSystem", "FileMeta", "IORequest", "StripeLayout",
     "ServerScheduler", "SharedScheduler", "FIFOServerScheduler",
     "AppSerialScheduler", "make_scheduler",
 ]

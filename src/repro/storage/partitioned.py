@@ -1,0 +1,128 @@
+"""A multi-partition file-system namespace over per-partition PFS instances.
+
+Platforms with ``npartitions > 1`` model what production machines expose:
+several independent parallel file systems (disjoint server groups), each
+striping its own files.  :class:`PartitionedFileSystem` is the client-facing
+facade: it owns one :class:`~repro.storage.pfs.ParallelFileSystem` per
+partition and routes every namespace/data operation by path, so the ADIO
+layer and applications keep calling one object exactly as on unpartitioned
+machines.
+
+Routing is stable and declarative: an exact-path pin (:meth:`pin`) wins,
+otherwise the path's first component (the per-application directory in
+every workload here) hashes to a partition — the same
+hash-randomization-free rule the stripe layouts use, so placement is
+reproducible across processes and runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..simcore import Event, SimulationError, Simulator
+from .pfs import FileMeta, ParallelFileSystem
+
+__all__ = ["PartitionedFileSystem"]
+
+
+def default_partition(key: str, npartitions: int) -> int:
+    """Stable partition choice for a routing key (an app/top-dir name)."""
+    return sum(key.encode()) % npartitions
+
+
+class PartitionedFileSystem:
+    """Path-routing facade over one ``ParallelFileSystem`` per partition."""
+
+    def __init__(self, sim: Simulator, partitions: List[ParallelFileSystem]):
+        if not partitions:
+            raise SimulationError("need >= 1 partition")
+        self.sim = sim
+        self.partitions = list(partitions)
+        self._pins: Dict[str, int] = {}
+        self.perf = partitions[0].perf
+
+    @property
+    def npartitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def servers(self):
+        """All data servers across partitions (partition-major order)."""
+        return [s for pfs in self.partitions for s in pfs.servers]
+
+    # -- routing -----------------------------------------------------------
+    def pin(self, path: str, partition: int) -> None:
+        """Pin an exact path to a partition (before the file exists)."""
+        partition = int(partition) % self.npartitions
+        current = self._pins.get(path)
+        if current is not None and current != partition:
+            raise SimulationError(
+                f"{path!r} already pinned to partition {current}")
+        if current is None:
+            owner = self._owner_of(path)
+            if owner is not None and owner != partition:
+                raise SimulationError(
+                    f"{path!r} already exists on partition {owner}")
+            self._pins[path] = partition
+
+    def partition_of(self, path: str) -> int:
+        """The partition owning ``path`` (pin > existing file > hash)."""
+        pinned = self._pins.get(path)
+        if pinned is not None:
+            return pinned
+        owner = self._owner_of(path)
+        if owner is not None:
+            return owner
+        key = next((part for part in path.split("/") if part), path)
+        return default_partition(key, self.npartitions)
+
+    def _owner_of(self, path: str) -> Optional[int]:
+        for i, pfs in enumerate(self.partitions):
+            if path in pfs._files:
+                return i
+        return None
+
+    def _pfs(self, path: str) -> ParallelFileSystem:
+        return self.partitions[self.partition_of(path)]
+
+    # -- namespace ---------------------------------------------------------
+    def create(self, path: str, stripe_size: Optional[int] = None) -> FileMeta:
+        return self._pfs(path).create(path, stripe_size)
+
+    def open(self, path: str, create: bool = True) -> FileMeta:
+        return self._pfs(path).open(path, create)
+
+    def unlink(self, path: str) -> None:
+        self._pfs(path).unlink(path)
+        self._pins.pop(path, None)
+
+    def stat(self, path: str) -> FileMeta:
+        return self._pfs(path).stat(path)
+
+    def listdir(self) -> List[str]:
+        return sorted(p for pfs in self.partitions for p in pfs.listdir())
+
+    # -- data path ---------------------------------------------------------
+    def write(self, client: str, app: str, path: str, offset: int,
+              nbytes: int, weight: float = 1.0,
+              cap: Optional[float] = None) -> Event:
+        return self._pfs(path).write(client, app, path, offset, nbytes,
+                                     weight=weight, cap=cap)
+
+    def read(self, client: str, app: str, path: str, offset: int,
+             nbytes: int, weight: float = 1.0,
+             cap: Optional[float] = None) -> Event:
+        return self._pfs(path).read(client, app, path, offset, nbytes,
+                                    weight=weight, cap=cap)
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def total_bytes_written(self) -> float:
+        return sum(pfs.total_bytes_written for pfs in self.partitions)
+
+    @property
+    def total_bytes_read(self) -> float:
+        return sum(pfs.total_bytes_read for pfs in self.partitions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PartitionedFileSystem npartitions={self.npartitions}>"

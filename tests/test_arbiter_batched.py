@@ -7,6 +7,8 @@ batching, decision views, the ring-buffer decision log, the DELAY-hold
 race fix, and randomized batched-vs-unbatched equivalence.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -153,18 +155,37 @@ def test_views_reach_view_aware_strategies():
     assert [d.app for d in captured["active"]] == ["a"]
 
 
-def test_legacy_strategy_gets_lists_and_deprecation_warning():
+def test_views_are_the_default_contract():
+    """A strategy declaring nothing gets live views, warning-free."""
+    captured = {}
+
+    class Plain(Strategy):
+        name = "plain"
+
+        def decide(self, now, active, waiting, incoming):
+            captured["active"] = active
+            return Decision(Action.GO)
+
+    arb = Arbiter(Simulator(), Plain())
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        arb.on_inform(desc("a"))
+    assert isinstance(captured["active"], DescriptorSetView)
+
+
+def test_legacy_escape_hatch_gets_lists_and_deprecation_warning():
     captured = {}
 
     class Legacy(Strategy):
-        name = "legacy"  # supports_views defaults to False
+        name = "legacy"
+        supports_views = False  # the one-release escape hatch
 
         def decide(self, now, active, waiting, incoming):
             captured["active"] = active
             return Decision(Action.GO)
 
     arb = Arbiter(Simulator(), Legacy())
-    with pytest.warns(DeprecationWarning, match="supports_views"):
+    with pytest.warns(DeprecationWarning, match="removed in the next release"):
         arb.on_inform(desc("a"))
     assert isinstance(captured["active"], list)
     arb.on_inform(desc("b"))  # second decision: warned once per class

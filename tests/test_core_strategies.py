@@ -165,3 +165,102 @@ def test_dynamic_delay_chosen_when_partial_overlap_wins():
     best = min(d.costs.values())
     assert best <= d.costs["fcfs"] + 1e-9
     assert best <= d.costs["interrupt"] + 1e-9
+
+
+# -- batch-aware built-ins and O(1) backlog aggregates (sharded-coord PR) ----
+
+def test_fcfs_decide_batch_matches_per_incoming_decisions():
+    s = FCFSStrategy()
+    incomings = [desc(f"i{k}", 10, 1.0) for k in range(4)]
+    batch = list(s.decide_batch(0.0, [], [], incomings))
+    assert [d.action for d in batch] == [Action.GO] + [Action.WAIT] * 3
+    busy = list(s.decide_batch(0.0, [desc("a", 10, 1.0)], [], incomings))
+    assert all(d.action is Action.WAIT for d in busy)
+
+
+def test_fcfs_subclass_custom_decide_survives_batching():
+    """The O(1) batch shortcut must not bypass a subclass's decide()."""
+    class Audited(FCFSStrategy):
+        def decide(self, now, active, waiting, incoming):
+            d = super().decide(now, active, waiting, incoming)
+            d.costs["audited"] = 1.0
+            return d
+
+    batch = list(Audited().decide_batch(0.0, [], [],
+                                        [desc("a", 1, 1.0),
+                                         desc("b", 1, 1.0)]))
+    assert all(d.costs.get("audited") == 1.0 for d in batch)
+
+
+def test_dynamic_decomposed_costs_match_full_path_decisions():
+    """Built-in (decomposable) metrics must pick the same action and
+    near-identical costs as the historical whole-population evaluation."""
+
+    class Opaque(CpuSecondsWasted):
+        """Same metric, but non-decomposable: forces _decide_full."""
+        def alone_cost(self, totals):
+            return None
+
+    fast, slow = DynamicStrategy(CpuSecondsWasted()), DynamicStrategy(Opaque())
+    active = [desc("A", 744, 20.0, total=1e9, started=0.0, remaining=0.7e9)]
+    waiting = [desc(f"w{k}", 8 * (k + 1), 1.0 + 0.25 * k) for k in range(20)]
+    for dt, nb in ((5.0, 24), (1.0, 700), (19.0, 8)):
+        incoming = desc("B", nb, 1.5, total=3e7)
+        d_fast = fast.decide(dt, active, waiting, incoming)
+        d_slow = slow.decide(dt, active, waiting, incoming)
+        assert d_fast.action is d_slow.action, (dt, nb)
+        for key in d_slow.costs:
+            assert d_fast.costs[key] == pytest.approx(d_slow.costs[key])
+
+
+def test_dynamic_decomposition_with_max_combine_metric():
+    from repro.core import MaxSlowdown
+
+    class OpaqueMax(MaxSlowdown):
+        def alone_cost(self, totals):
+            return None
+
+    fast, slow = DynamicStrategy(MaxSlowdown()), DynamicStrategy(OpaqueMax())
+    active = [desc("A", 100, 10.0, total=1e9, started=0.0)]
+    waiting = [desc("w", 50, 4.0)]
+    incoming = desc("B", 10, 2.0, total=1e7)
+    d_fast = fast.decide(3.0, active, waiting, incoming)
+    d_slow = slow.decide(3.0, active, waiting, incoming)
+    assert d_fast.action is d_slow.action
+    # max-combine decomposition is exactly associative: bit-equal costs.
+    assert d_fast.costs == d_slow.costs
+
+
+def test_waiting_totals_cache_is_bit_identical_to_fresh_fold():
+    """Appends extend the float fold; removals recompute — the cached
+    aggregates must always equal a fresh FIFO-order sum bit-for-bit."""
+    from repro.core import DescriptorSetView, WaitingTotals
+
+    names = {}
+    descriptors = {}
+    view = DescriptorSetView(names, descriptors, track_totals=True)
+    rng = __import__("numpy").random.default_rng(5)
+
+    def check():
+        cached = view.totals()
+        fresh = WaitingTotals.fold(view)
+        assert cached.t_alone == fresh.t_alone
+        assert cached.nprocs_t_alone == fresh.nprocs_t_alone
+        assert (cached.positive, cached.count) == (fresh.positive, fresh.count)
+
+    for i in range(120):
+        op = rng.integers(0, 3)
+        if op in (0, 1) or not names:
+            d = desc(f"a{i}", int(rng.integers(1, 64)),
+                     float(rng.uniform(0.0, 3.0)))
+            names[d.app] = None
+            descriptors[d.app] = d
+            view.note_append(d)
+        else:
+            victim = list(names)[int(rng.integers(0, len(names)))]
+            del names[victim]
+            del descriptors[victim]
+            view.note_remove()
+        if i % 7 == 0:
+            check()
+    check()

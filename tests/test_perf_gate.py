@@ -87,6 +87,59 @@ def test_arbiter_gate_skips_on_differing_workload_parameters():
     assert ok and "not comparable" in msg
 
 
+def shard_record(speedups, phases=3, wall=0.01):
+    """``speedups``: {scale: {nshards: speedup}} (1-shard baseline = 1.0)."""
+    return {
+        "benchmark": "scale_shards",
+        "config": {"scales": sorted(map(int, speedups)),
+                   "shard_counts": [1, 4, 8], "npartitions": 8,
+                   "phases": phases, "dt_arrival": 0.05,
+                   "strategy": "fcfs-audited",
+                   "full_scale": max(map(int, speedups)) >= 1000},
+        "scales": {
+            scale: {
+                nshards: {"perf": {"coord_seconds": wall / speedup,
+                                   "coord_decisions": 3000},
+                          "speedup": speedup,
+                          "mean_waiting_depth": 100.0}
+                for nshards, speedup in per_shardcount.items()
+            }
+            for scale, per_shardcount in speedups.items()
+        },
+    }
+
+
+def test_shard_gate_uses_largest_common_scale_and_shard_count():
+    committed = shard_record({"500": {"1": 1.0, "8": 3.0},
+                              "1000": {"1": 1.0, "8": 4.5}})
+    fresh = shard_record({"500": {"1": 1.0, "8": 2.8},
+                          "1000": {"1": 1.0, "8": 4.0}})
+    ok, msg = check_perf_regression(fresh, committed, "shard")
+    assert ok and "shard@1000x8" in msg
+    collapsed = shard_record({"1000": {"1": 1.0, "8": 1.5}})
+    ok, msg = check_perf_regression(collapsed, committed, "shard")
+    assert not ok and "shard@1000x8" in msg
+
+
+def test_shard_gate_skips_on_mismatches():
+    ok, msg = check_perf_regression(shard_record({"250": {"1": 1.0, "8": 2.0}}),
+                                    shard_record({"1000": {"1": 1.0, "8": 4.0}}),
+                                    "shard")
+    assert ok and "no scale" in msg
+    ok, msg = check_perf_regression(
+        shard_record({"1000": {"1": 1.0, "8": 2.0}}, phases=9),
+        shard_record({"1000": {"1": 1.0, "8": 4.0}}, phases=3), "shard")
+    assert ok and "not comparable" in msg
+    # Reduced smoke scales (a config-list subset) still gate: the scale
+    # list itself is ignored, only per-scale workload parameters matter.
+    ok, msg = check_perf_regression(
+        shard_record({"500": {"1": 1.0, "8": 2.9}, "1000": {"1": 1.0, "8": 4.2}}),
+        shard_record({"500": {"1": 1.0, "8": 3.0}, "1000": {"1": 1.0, "8": 4.5},
+                      "2000": {"1": 1.0, "8": 6.0}}),
+        "shard")
+    assert ok and "shard@1000x8" in msg
+
+
 def test_custom_factor_and_unknown_kind():
     fresh, committed = kernel_record(150.0), kernel_record(200.0)
     ok, _ = check_perf_regression(fresh, committed, "kernel", factor=1.2)
