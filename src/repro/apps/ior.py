@@ -67,6 +67,12 @@ class IORConfig:
     #: application, coordinated through the cross-shard protocol).
     #: Ignored (any value) on single-partition machines.
     partitions: Optional[Tuple[int, ...]] = None
+    #: I/O direction per phase: ``"write"`` (default — every iteration
+    #: writes fresh files) or ``"readwrite"`` (even iterations write, odd
+    #: iterations read the previous iteration's files back — a
+    #: checkpoint/restart-flavoured mix that keeps read traffic on data
+    #: that exists).
+    operation: str = "write"
 
     def __post_init__(self) -> None:
         if self.partitions is not None:
@@ -86,6 +92,9 @@ class IORConfig:
             raise ValueError(f"scope must be 'phase' or 'file', got {self.scope!r}")
         if self.grain not in (None, "round", "file"):
             raise ValueError(f"grain must be None/'round'/'file', got {self.grain!r}")
+        if self.operation not in ("write", "readwrite"):
+            raise ValueError(
+                f"operation must be 'write' or 'readwrite', got {self.operation!r}")
         if self.start_time < 0:
             raise ValueError("start_time must be >= 0 (shift the other app instead)")
 
@@ -227,14 +236,23 @@ class IORApp:
             t0 = sim.now
             yield from self.guard.begin_access()
             record.wait_time += sim.now - t0
+        reading = cfg.operation == "readwrite" and iteration % 2 == 1
         try:
             for f in range(cfg.nfiles):
-                path = f"/{cfg.name}/iter{iteration}/file{f}"
+                # Read phases re-read the files the previous (write)
+                # iteration produced; write phases create fresh ones.
+                source = iteration - 1 if reading else iteration
+                path = f"/{cfg.name}/iter{source}/file{f}"
                 self.platform.pin_path(path, self.platform.file_partition(
                     cfg.name, f, cfg.partitions))
-                stats = yield from self.adio.write_collective(
-                    path, cfg.pattern, grain=cfg.grain
-                )
+                if reading:
+                    stats = yield from self.adio.read_collective(
+                        path, cfg.pattern, grain=cfg.grain
+                    )
+                else:
+                    stats = yield from self.adio.write_collective(
+                        path, cfg.pattern, grain=cfg.grain
+                    )
                 record.wait_time += stats.wait_time
                 record.comm_time += stats.comm_time
                 record.write_time += stats.write_time

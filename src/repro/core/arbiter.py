@@ -46,7 +46,9 @@ from typing import Dict, List, Optional
 
 from ..simcore import Event, SimulationError, Simulator
 from .metrics import AccessDescriptor, DescriptorSetView
-from .strategies import Action, Decision, Strategy, make_strategy
+from .strategies import (
+    Action, Decision, Strategy, _accepts_preempted, make_strategy,
+)
 
 __all__ = ["AccessState", "Arbiter", "CoordinationRound", "DecisionRecord"]
 
@@ -207,6 +209,10 @@ class Arbiter:
         self.decision_log_limit = decision_log_limit
         self.decision_log = ([] if decision_log_limit is None
                              else deque(maxlen=int(decision_log_limit)))
+        #: Whether the strategy's decide/decide_batch ask for the
+        #: preempted-queue view (an optional keyword, see Strategy docs).
+        self._batch_preempted = _accepts_preempted(self.strategy.decide_batch)
+        self._decide_preempted = _accepts_preempted(self.strategy.decide)
         if self.batched:
             #: First-decision order (never reset) — the iteration order the
             #: old ``_state``-scanning ``active_descriptors()`` produced.
@@ -224,6 +230,10 @@ class Arbiter:
             # below reports through note_append/note_remove.
             self._waiting_view = DescriptorSetView(self._waiting, self._desc,
                                                    track_totals=True)
+            #: Read-only preempted queue (preemption order) for strategies
+            #: whose cost models price deep preemption stacks.
+            self._preempted_view = DescriptorSetView(self._preempted,
+                                                     self._desc)
         else:
             self._waiting: List[str] = []     # FIFO arrival order
             self._preempted: List[str] = []   # FIFO preemption order
@@ -249,6 +259,12 @@ class Arbiter:
         if self.batched:
             return list(self._waiting_view)
         return [self._desc[a] for a in self._waiting]
+
+    def preempted_descriptors(self) -> List[AccessDescriptor]:
+        """Preempted accesses, in preemption (FIFO re-grant) order."""
+        if self.batched:
+            return list(self._preempted_view)
+        return [self._desc[a] for a in self._preempted]
 
     def grant_in_flight(self, app: str) -> bool:
         """Whether ``app``'s grant notification is still crossing the fabric.
@@ -461,8 +477,14 @@ class Arbiter:
         strategy observing the live views sees each earlier decision's
         effect — bit-identical to N independent unbatched calls.
         """
-        decisions = iter(self.strategy.decide_batch(
-            self.sim.now, self._active_view, self._waiting_view, descriptors))
+        if self._batch_preempted:
+            decisions = iter(self.strategy.decide_batch(
+                self.sim.now, self._active_view, self._waiting_view,
+                descriptors, preempted=self._preempted_view))
+        else:
+            decisions = iter(self.strategy.decide_batch(
+                self.sim.now, self._active_view, self._waiting_view,
+                descriptors))
         results: List[bool] = []
         for k, descriptor in enumerate(descriptors):
             try:
@@ -617,12 +639,21 @@ class Arbiter:
                 self._merge_descriptor(app, descriptor)
                 return state is AccessState.ACTIVE
 
-            decision = self.strategy.decide(
-                self.sim.now,
-                self.active_descriptors(),
-                self.waiting_descriptors(),
-                descriptor,
-            )
+            if self._decide_preempted:
+                decision = self.strategy.decide(
+                    self.sim.now,
+                    self.active_descriptors(),
+                    self.waiting_descriptors(),
+                    descriptor,
+                    preempted=self.preempted_descriptors(),
+                )
+            else:
+                decision = self.strategy.decide(
+                    self.sim.now,
+                    self.active_descriptors(),
+                    self.waiting_descriptors(),
+                    descriptor,
+                )
             self._log_decision(
                 app, decision,
                 active=[d.app for d in self.active_descriptors()],

@@ -15,7 +15,7 @@ with equal core counts and B arriving dt after A, interrupting A wins iff
 
 from __future__ import annotations
 
-import warnings
+import inspect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
@@ -31,15 +31,33 @@ __all__ = [
     "InterruptStrategy", "DynamicStrategy", "make_strategy",
 ]
 
-#: Strategy classes already warned about the list-materialization shim
-#: (one DeprecationWarning per class, not per decision).
-_VIEW_SHIM_WARNED = set()
-
 
 def _capture_totals(waiting) -> WaitingTotals:
     """Waiting-queue aggregates: O(1) from a tracking view, else a fold."""
     totals = getattr(waiting, "totals", None)
     return totals() if totals is not None else WaitingTotals.fold(waiting)
+
+
+def _accepts_preempted(fn) -> bool:
+    """Whether a decide/decide_batch signature takes the preempted view.
+
+    The preempted queue is newer than the strategy contract, so it rides
+    in as an *optional* keyword: strategies that declare ``preempted``
+    (or ``**kwargs``) receive the live view, everyone else keeps the
+    historical four-argument call.
+    """
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # pragma: no cover - builtins/oddities
+        return False
+    for p in sig.parameters.values():
+        if p.name == "preempted" or p.kind is p.VAR_KEYWORD:
+            return True
+    return False
+
+
+#: Per-class cache of whether ``decide`` accepts the preempted view.
+_DECIDE_PREEMPTED: Dict[type, bool] = {}
 
 
 class Action(Enum):
@@ -71,19 +89,29 @@ class Strategy(ABC):
     Contract: ``active`` and ``waiting`` are *read-only views* over the
     arbiter's live indexes (:class:`~repro.core.metrics.DescriptorSetView`)
     — iterable, sized, truth-testable, but not lists and never to be
-    mutated.  ``supports_views = True`` is the default (and only)
-    contract now; the legacy list-materialization shim survives one more
-    release as an explicit escape hatch — a strategy class that sets
-    ``supports_views = False`` still gets plain lists per decision, at
-    the price of a once-per-class DeprecationWarning.
+    mutated.  Views are the only contract; the one-release
+    ``supports_views = False`` list-materialization escape hatch has been
+    removed (declaring it is now a loud ``TypeError`` at class definition,
+    so stragglers fail at import instead of silently changing behavior).
+
+    Strategies that price deep preemption stacks can additionally declare
+    a ``preempted`` keyword on :meth:`decide` (or :meth:`decide_batch`) to
+    receive a read-only view of the preempted queue, in preemption order.
+    Built-ins ignore it — their decisions are unchanged — but §IV-D-style
+    cost models can use it to see the work an INTERRUPT would stack on.
     """
 
     name: str = "strategy"
 
-    #: True (the contract): :meth:`decide` treats ``active``/``waiting``
-    #: as read-only iterables.  Setting False opts into the deprecated
-    #: per-decision list materialization shim, scheduled for removal.
-    supports_views: bool = True
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.__dict__.get("supports_views") is False:
+            raise TypeError(
+                f"{cls.__name__} sets supports_views = False, but the "
+                "list-materialization shim has been removed (it was "
+                "deprecated for one release). Treat the active/waiting "
+                "arguments as read-only iterables and drop the attribute."
+            )
 
     @abstractmethod
     def decide(self, now: float, active: Sequence[AccessDescriptor],
@@ -94,6 +122,7 @@ class Strategy(ABC):
     def decide_batch(self, now: float, active: Sequence[AccessDescriptor],
                      waiting: Sequence[AccessDescriptor],
                      incomings: Sequence[AccessDescriptor],
+                     preempted: Sequence[AccessDescriptor] = (),
                      ) -> Iterable[Decision]:
         """Decide a whole :class:`~repro.core.arbiter.CoordinationRound`.
 
@@ -104,27 +133,21 @@ class Strategy(ABC):
         is exactly what makes the default (one :meth:`decide` per
         incoming) bit-identical to N independent unbatched calls.
         Override to share work across the batch; yield exactly one
-        :class:`Decision` per incoming, in order.
+        :class:`Decision` per incoming, in order.  ``preempted`` is the
+        read-only preempted-queue view, forwarded to :meth:`decide` only
+        when its signature asks for it.
         """
-        if self.supports_views:
+        cls = type(self)
+        wants = _DECIDE_PREEMPTED.get(cls)
+        if wants is None:
+            wants = _DECIDE_PREEMPTED[cls] = _accepts_preempted(self.decide)
+        if wants:
+            for incoming in incomings:
+                yield self.decide(now, active, waiting, incoming,
+                                  preempted=preempted)
+        else:
             for incoming in incomings:
                 yield self.decide(now, active, waiting, incoming)
-            return
-        cls = type(self)
-        if cls not in _VIEW_SHIM_WARNED:
-            _VIEW_SHIM_WARNED.add(cls)
-            warnings.warn(
-                f"{cls.__name__} sets supports_views = False; the "
-                "list-materialization shim is deprecated and will be "
-                "removed in the next release. Drop the attribute (views "
-                "are the default contract now) and treat the "
-                "active/waiting arguments as read-only iterables.",
-                DeprecationWarning, stacklevel=3,
-            )
-        for incoming in incomings:
-            # Re-materialize per decision: earlier decisions in the batch
-            # may have changed the indexes behind the views.
-            yield self.decide(now, list(active), list(waiting), incoming)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
@@ -134,7 +157,6 @@ class InterfereStrategy(Strategy):
     """The uncoordinated baseline: everyone writes whenever they like."""
 
     name = "interfere"
-    supports_views = True
 
     def decide(self, now, active, waiting, incoming) -> Decision:
         return Decision(Action.GO)
@@ -149,14 +171,13 @@ class FCFSStrategy(Strategy):
     """
 
     name = "fcfs"
-    supports_views = True
 
     def decide(self, now, active, waiting, incoming) -> Decision:
         if active or waiting:
             return Decision(Action.WAIT)
         return Decision(Action.GO)
 
-    def decide_batch(self, now, active, waiting, incomings):
+    def decide_batch(self, now, active, waiting, incomings, preempted=()):
         # Batch-aware: the machine's busyness is evaluated once per
         # coordination round.  The first incoming can only GO on an idle
         # machine, and its own admission (GO -> active, WAIT -> waiting)
@@ -165,7 +186,8 @@ class FCFSStrategy(Strategy):
         if type(self).decide is not FCFSStrategy.decide:
             # A subclass customized decide(): its per-incoming logic (extra
             # audit fields, tweaked policy) must keep running.
-            yield from super().decide_batch(now, active, waiting, incomings)
+            yield from super().decide_batch(now, active, waiting, incomings,
+                                            preempted=preempted)
             return
         busy = bool(active) or bool(waiting)
         for _ in incomings:
@@ -184,7 +206,6 @@ class InterruptStrategy(Strategy):
     """
 
     name = "interrupt"
-    supports_views = True
 
     def decide(self, now, active, waiting, incoming) -> Decision:
         if active:
@@ -226,7 +247,6 @@ class DynamicStrategy(Strategy):
     """
 
     name = "dynamic"
-    supports_views = True
 
     def __init__(self, metric: EfficiencyMetric | str = None,
                  consider_interference: bool = False,
@@ -243,7 +263,7 @@ class DynamicStrategy(Strategy):
         return self._decide_one(now, active, waiting, incoming,
                                 _capture_totals(waiting))
 
-    def decide_batch(self, now, active, waiting, incomings):
+    def decide_batch(self, now, active, waiting, incomings, preempted=()):
         # Batch-aware: the waiting-queue aggregates are shared across the
         # round.  On a tracking view ``_capture_totals`` is O(1) and stays
         # current as the arbiter applies each decision (a WAIT/DELAY
@@ -251,7 +271,8 @@ class DynamicStrategy(Strategy):
         # sequences is paid once per round, not once per incoming.
         if type(self).decide is not DynamicStrategy.decide:
             # A subclass customized decide(): preserve its logic.
-            yield from super().decide_batch(now, active, waiting, incomings)
+            yield from super().decide_batch(now, active, waiting, incomings,
+                                            preempted=preempted)
             return
         # Captured once per round: a tracking view's totals object is live
         # (the arbiter's WAIT applications extend it in place), and a

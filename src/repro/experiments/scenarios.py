@@ -337,6 +337,118 @@ def swf_replay(napps: int = 100, hours: float = 6.0,
     return [spec.with_(arbiter=arbiter_opts)]
 
 
+@register_scenario(
+    "checkpoint-waves",
+    "High-churn kernel scenario: cohorts of writers checkpointing in "
+    "synchronized waves over a wide machine, with span-server bridge "
+    "apps that merge and split link/flow components "
+    "(meta: napps, ncohorts, nbridges).")
+def checkpoint_waves(napps: int = 120, nservers: int = 16,
+                     ncohorts: int = 4, strategy: Optional[Any] = None,
+                     phases: int = 3, bytes_per_process: int = 2_000_000,
+                     period: float = 30.0, jitter: float = 0.5,
+                     bridge_every: int = 5, seed: int = 13,
+                     allocator: str = "incremental",
+                     arbiter: Optional[Dict[str, Any]] = None
+                     ) -> List[ExperimentSpec]:
+    """Synchronized bursty cohorts — the bottleneck-incremental kernel's
+    stress case.  Application ``i`` belongs to cohort ``i % ncohorts``;
+    every cohort checkpoints together (same period, wave-staggered starts
+    plus a small jitter), so each wave floods its servers with near-
+    simultaneous arrivals and drains them with near-simultaneous
+    completions — exactly the churn the cached bottleneck orders absorb.
+    Every ``bridge_every``-th application writes two files (hashing onto
+    two servers), bridging otherwise disjoint per-server components so
+    the component registry exercises union on the wave's rise and split
+    on its fall."""
+    if napps < 1:
+        raise ValueError(f"napps must be >= 1, got {napps}")
+    if ncohorts < 1:
+        raise ValueError(f"ncohorts must be >= 1, got {ncohorts}")
+    rng = ensure_rng(seed)
+    platform = many_writers_platform(nservers, allocator=allocator)
+    workloads = []
+    nbridges = 0
+    wave_gap = period / ncohorts
+    for i in range(napps):
+        cohort = i % ncohorts
+        nprocs = int(rng.choice([4, 8, 16]))
+        nfiles = 1
+        if bridge_every > 0 and i % bridge_every == 0:
+            nfiles = 2
+            nbridges += 1
+        workloads.append(WorkloadSpec(
+            name=f"app{i:03d}",
+            nprocs=nprocs,
+            pattern=Contiguous(block_size=bytes_per_process),
+            nfiles=nfiles,
+            iterations=phases,
+            period=float(period),
+            start_time=float(cohort * wave_gap + rng.uniform(0.0, jitter)),
+            grain="round",
+        ))
+    arbiter_opts = {"decision_log_limit": SCALE_DECISION_LOG_LIMIT}
+    arbiter_opts.update(arbiter or {})
+    return [ExperimentSpec(
+        platform=platform, workloads=tuple(workloads), strategy=strategy,
+        name="checkpoint-waves", measure_alone=False,
+        meta={"napps": napps, "ncohorts": ncohorts, "nbridges": nbridges,
+              "scenario": "checkpoint-waves"},
+        arbiter=arbiter_opts,
+    )]
+
+
+@register_scenario(
+    "read-write-mix",
+    "High-churn kernel scenario: checkpoint/restart-flavoured mix — half "
+    "the applications alternate write and read-back phases while the "
+    "rest write continuously (meta: napps, nreaders).")
+def read_write_mix(napps: int = 80, nservers: int = 16,
+                   strategy: Optional[Any] = None, phases: int = 4,
+                   bytes_per_process: int = 2_000_000,
+                   spread: float = 30.0, period: float = 20.0,
+                   read_every: int = 2, seed: int = 17,
+                   allocator: str = "incremental",
+                   arbiter: Optional[Dict[str, Any]] = None
+                   ) -> List[ExperimentSpec]:
+    """Every ``read_every``-th application runs ``operation='readwrite'``
+    (even iterations write a checkpoint, odd iterations read it back), so
+    server ingest and drain flows interleave on the same components and
+    the perturbation mix differs from the pure-writer scenarios.  Needs
+    ``phases >= 2`` for any read phase to happen."""
+    if napps < 1:
+        raise ValueError(f"napps must be >= 1, got {napps}")
+    rng = ensure_rng(seed)
+    platform = many_writers_platform(nservers, allocator=allocator)
+    workloads = []
+    nreaders = 0
+    for i in range(napps):
+        nprocs = int(rng.choice([4, 8, 16, 32]))
+        operation = "write"
+        if read_every > 0 and i % read_every == 0:
+            operation = "readwrite"
+            nreaders += 1
+        workloads.append(WorkloadSpec(
+            name=f"app{i:03d}",
+            nprocs=nprocs,
+            pattern=Contiguous(block_size=bytes_per_process),
+            iterations=phases,
+            period=float(period),
+            start_time=float(rng.uniform(0.0, spread)),
+            grain="round",
+            operation=operation,
+        ))
+    arbiter_opts = {"decision_log_limit": SCALE_DECISION_LOG_LIMIT}
+    arbiter_opts.update(arbiter or {})
+    return [ExperimentSpec(
+        platform=platform, workloads=tuple(workloads), strategy=strategy,
+        name="read-write-mix", measure_alone=False,
+        meta={"napps": napps, "nreaders": nreaders,
+              "scenario": "read-write-mix"},
+        arbiter=arbiter_opts,
+    )]
+
+
 # ---------------------------------------------------------------------------
 # Sharded-coordination scenarios (multi-partition platforms)
 # ---------------------------------------------------------------------------

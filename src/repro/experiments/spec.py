@@ -129,6 +129,7 @@ class WorkloadSpec:
     cb_buffer_size: int = 4 * 1024 * 1024
     naggregators: Optional[int] = None
     partitions: Optional[Tuple[int, ...]] = None
+    operation: str = "write"
 
     def __post_init__(self) -> None:
         # Normalize so JSON round-trips (lists) compare equal to literals.

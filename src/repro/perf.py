@@ -17,6 +17,18 @@ counter                    meaning
 ``flow_starts``            flows started
 ``flow_completions``       flows that delivered their last byte
 ``wakes``                  completion-horizon wakeups handled
+``fill_cache_hits``        refills served entirely from the cached
+                           bottleneck order (no fresh bottleneck scan)
+``fill_partial_refills``   refills that replayed a prefix of the cached
+                           order, then re-derived the tail fresh
+``fill_cache_misses``      refills with nothing reusable (first fill of a
+                           component, or the first cached step invalidated)
+``fill_steps_reused``      cached bottleneck steps replayed across refills
+``wake_stale_pops``        invalidated heap entries lazily popped (repriced,
+                           finished, cancelled, or migrated flows; dead
+                           component index entries)
+``wake_compactions``       wake-heap/garbage compaction passes
+``wake_comp_rebuilds``     component-registry rebuilds (merges and splits)
 ``io_requests``            requests admitted by storage servers
 ``pfs_writes``/``reads``   file-system level operations
 ``timeseries_samples``     monitor samples recorded
@@ -178,6 +190,31 @@ def check_perf_regression(fresh: Mapping[str, Any],
     eyeballing those.
     """
     if kind == "kernel":
+        # High-churn sub-record (cached kernel vs the PR-2 incremental
+        # baseline, per scale): gate at the largest scale the two records
+        # share, with matching per-scale workload parameters.
+        fresh_churn = fresh.get("churn") or {}
+        committed_churn = committed.get("churn") or {}
+        common = sorted(set(fresh_churn.get("scales", {}))
+                        & set(committed_churn.get("scales", {})), key=float)
+        if common and (_without(fresh_churn.get("config"),
+                                ("scales", "full_scale"))
+                       != _without(committed_churn.get("config"),
+                                   ("scales", "full_scale"))):
+            # Churn workloads differ: that sub-gate is not comparable, but
+            # the base incremental-vs-global gate below still is.
+            common = []
+        if common:
+            scale = common[-1]
+            fresh_c = float(fresh_churn["scales"][scale]["speedup"])
+            committed_c = float(committed_churn["scales"][scale]["speedup"])
+            if committed_c > 0:
+                collapse = committed_c / max(fresh_c, 1e-12)
+                if collapse > factor:
+                    return False, (
+                        f"kernel-churn@{scale}: fresh speedup "
+                        f"{fresh_c:.2f}x vs committed {committed_c:.2f}x "
+                        f"({collapse:.2f}x collapse, limit {factor}x)")
         if fresh.get("config") != committed.get("config"):
             return True, ("kernel: configs differ; speedups are not "
                           "comparable — skipping gate (run the committed "

@@ -71,9 +71,13 @@ class PlatformConfig:
     #: ablations, non-uniform access).
     pool_servers: bool = True
     #: Bandwidth allocator: ``"incremental"`` (default — dirty-component
-    #: reallocation, see :mod:`repro.simcore.fairshare`) or ``"global"``
-    #: (the retained reference oracle that re-prices every flow on every
-    #: change; identical rates, slower).
+    #: reallocation with cached bottleneck orders and the per-component
+    #: wake-heap pool, see :mod:`repro.simcore.fairshare`),
+    #: ``"incremental-flat"`` (the PR-2 regime: dirty-component refills
+    #: with from-scratch filling and one machine-wide heap — the scale
+    #: benchmark's baseline) or ``"global"`` (the retained reference
+    #: oracle that re-prices every flow on every change; identical rates,
+    #: slower).
     allocator: str = "incremental"
     #: File-system partitions: the ``nservers`` data servers are split into
     #: this many disjoint groups, each running its own
@@ -130,10 +134,11 @@ class Platform:
     """An instantiated machine: simulator + fabric + PFS + client registry."""
 
     def __init__(self, config: PlatformConfig):
-        if config.allocator not in ("incremental", "global"):
+        if config.allocator not in ("incremental", "incremental-flat",
+                                    "global"):
             raise SimulationError(
-                f"allocator must be 'incremental' or 'global', "
-                f"got {config.allocator!r}"
+                f"allocator must be 'incremental', 'incremental-flat' or "
+                f"'global', got {config.allocator!r}"
             )
         if config.npartitions < 1:
             raise SimulationError(
@@ -145,9 +150,13 @@ class Platform:
         self.config = config
         self.perf = PerfCounters()
         self.sim = Simulator(perf=self.perf)
-        self.net = FlowNetwork(self.sim,
-                               incremental=(config.allocator == "incremental"),
-                               perf=self.perf)
+        self.net = FlowNetwork(
+            self.sim,
+            incremental=(config.allocator != "global"),
+            perf=self.perf,
+            fill_cache=(config.allocator == "incremental"),
+            heap_pool=(config.allocator == "incremental"),
+        )
         self.fabric = Fabric(self.sim, self.net, latency=config.latency)
         self.fabric.add_switch("switch")
         self.servers = []

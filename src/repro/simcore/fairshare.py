@@ -39,17 +39,52 @@ writes state of another.  The network exploits that:
   components keep their rates and their scheduled completions;
 * flow progress is integrated lazily per flow (``remaining`` is exact as of
   the flow's own sync point), so an event in one component costs nothing in
-  another;
-* completions are driven by a single heap of per-flow completion horizons
-  with lazy invalidation (a refill bumps the generation of every flow it
-  touches), replacing the old whole-network horizon scan.
+  another.
 
+Bottleneck-incremental filling
+------------------------------
+Within one dirty component the filling itself is incremental too.  Each
+live component caches its **bottleneck order** — the sequence of saturating
+links and binding per-flow caps the previous progressive filling walked.
+On the next perturbation the cached steps are *replayed*: a step whose
+bottleneck is untouched (not dirty, population unchanged) re-derives the
+exact same share from the maintained residuals without scanning every link,
+and only from the first changed step onward does the filling fall back to
+the fresh most-constrained scan.  Replay is verified, never trusted: at
+every reused step the dirty links and newly capped flows are checked (with
+a conservative float margin) to still lose to the cached bottleneck, and
+any doubt bails out to the fresh scan — which is what makes the cached
+rates bit-identical to a from-scratch fill (cross-checked on randomized
+topologies by ``tests/test_fairshare_bottleneck.py``).
+
+Wake-heap pool
+--------------
+Completions are driven by per-flow completion horizons with lazy
+invalidation (a refill bumps the generation of every flow it touches).
+Instead of one machine-wide heap, horizons live in a **pool of
+per-component heaps** keyed by a component registry (links carry their
+component; refills union touched components and split off the refilled
+part when membership shrinks), and a small index heap of per-component
+next-wake times drives the simulator wake.  Stale-entry churn — the
+``_schedule_next_wake`` compaction that used to scan a heap proportional
+to *every* flow in the machine — is now confined to the component that
+caused it, and a retired component drops its garbage wholesale.
+
+One integration path
+--------------------
 Within a component the filling iterates flows in registration order —
-exactly the order the previous global allocator used — so the incremental
-allocator reproduces the global allocator's rates bit for bit.  The global
-path is retained as a reference oracle (``FlowNetwork(sim,
-incremental=False)``, or ``PlatformConfig(allocator="global")``) and the
-test suite cross-checks the two on randomized topologies.
+exactly the order the historical global allocator used — so the
+incremental allocator reproduces the global allocator's rates bit for bit.
+The global path is retained purely as a rate-computation oracle
+(``FlowNetwork(sim, incremental=False)``, or
+``PlatformConfig(allocator="global")``): it shares the lazy per-flow
+integration, the dirty-driven reallocation loop and the completion-horizon
+machinery with the incremental path (the historical eager ``_advance``
+loop is gone) and differs only in re-pricing every flow, fresh, on every
+change.  ``FlowNetwork(sim, fill_cache=False, heap_pool=False)`` is the
+PR-2 regime — dirty-component refills with from-scratch filling and a
+single flat heap — kept as the baseline for
+``benchmarks/test_scale_kernel.py`` and as a second equivalence oracle.
 """
 
 from __future__ import annotations
@@ -70,6 +105,25 @@ __all__ = ["FluidLink", "FluidFlow", "FlowNetwork"]
 #: Flows with fewer remaining bytes than this are considered complete.
 _EPS_BYTES = 1e-6
 
+#: Relative margin for replayed-step verification against links whose
+#: unfixed-weight sum is maintained incrementally (exact left-to-right
+#: resummation is what the fresh scan does; the incremental sum can differ
+#: in the last bits, so a dirty link within this margin of the cached
+#: bottleneck conservatively invalidates the step instead of risking a
+#: different choice than the fresh scan would make).
+_REPLAY_MARGIN = 1.0 + 1e-9
+
+#: Cached-step kinds (see ``_Component.fill_steps``).
+_STEP_LINK = 0   #: payload: the saturating FluidLink
+_STEP_CAP = 1    #: payload: the cap-bound FluidFlow
+_STEP_INF = 2    #: terminal: no finite constraint remained
+
+#: Components smaller than this skip the bottleneck cache: a from-scratch
+#: fill over a handful of flows is cheaper than the replay bookkeeping
+#: (the common per-server components of the figure workloads), and a
+#: bypassed fill must drop the cache anyway to keep later replays exact.
+_CACHE_MIN_FLOWS = 8
+
 
 class FluidLink:
     """A shared-bandwidth resource (NIC, switch port, server ingest, disk).
@@ -83,7 +137,7 @@ class FluidLink:
         Label used in reprs and monitoring output.
     """
 
-    __slots__ = ("name", "_capacity", "network", "_active")
+    __slots__ = ("name", "_capacity", "network", "_active", "_comp")
 
     def __init__(self, capacity: float, name: str = "link"):
         if capacity <= 0:
@@ -93,6 +147,9 @@ class FluidLink:
         self.network: Optional["FlowNetwork"] = None
         #: Unpaused, unfinished flows crossing this link (insertion-ordered).
         self._active: Dict["FluidFlow", None] = {}
+        #: Registry component this link currently belongs to (incremental
+        #: networks with the fill cache or heap pool enabled).
+        self._comp: Optional["_Component"] = None
 
     @property
     def capacity(self) -> float:
@@ -102,24 +159,17 @@ class FluidLink:
         """Change capacity; reallocates the link's component at the current time.
 
         Progress accrued under the old capacity is integrated *before* the
-        new rates take effect (integrate-then-change): the global path
-        advances all flows eagerly, the incremental path syncs each touched
-        flow against its pre-change rate during the refill.
+        new rates take effect (integrate-then-change): every touched flow
+        is synced against its pre-change rate during the refill.
         """
         if capacity <= 0:
             raise SimulationError(f"link capacity must be positive, got {capacity}")
         if capacity == self._capacity:
             return
+        self._capacity = float(capacity)
         net = self.network
         if net is None:
-            self._capacity = float(capacity)
             return
-        if not net.incremental:
-            net._advance()
-            self._capacity = float(capacity)
-            net._reallocate_global()
-            return
-        self._capacity = float(capacity)
         net._mark_dirty((self,))
         net._reallocate()
 
@@ -147,7 +197,7 @@ class FluidFlow:
     __slots__ = (
         "size", "remaining", "weight", "cap", "path", "done", "paused",
         "start_time", "finish_time", "rate", "label",
-        "_seq", "_synced", "_gen",
+        "_seq", "_synced", "_gen", "_comp",
     )
 
     def __init__(self, size: float, path: Sequence[FluidLink], weight: float,
@@ -166,6 +216,7 @@ class FluidFlow:
         self._seq = -1           #: registration order within the network
         self._synced = 0.0       #: time ``remaining`` was last integrated to
         self._gen = 0            #: bumped on every rate change (heap validity)
+        self._comp: Optional["_Component"] = None  #: owner of the live heap entry
 
     @property
     def elapsed(self) -> float:
@@ -177,6 +228,39 @@ class FluidFlow:
             f"<FluidFlow {self.label!r} {self.remaining:.4g}/{self.size:.4g}B"
             f" w={self.weight:g}{' paused' if self.paused else ''}>"
         )
+
+
+class _Component:
+    """Registry entry for one connected component of the link/flow graph.
+
+    Owns the component's wake heap (``(time, seq, gen, flow)`` entries with
+    lazy invalidation) and its cached bottleneck order from the last
+    progressive filling.  :meth:`FlowNetwork._resolve_component` reshapes
+    an existing component in place when a refill's membership changes
+    (union on merge, shrink on split — the refilled part keeps the first
+    owner's identity, heap and cache); a component whose links were all
+    absorbed elsewhere is marked dead and its heap garbage is dropped
+    wholesale instead of being compacted entry by entry.
+    """
+
+    __slots__ = ("_seq", "links", "heap", "wake_gen", "alive", "nflows",
+                 "fill_steps", "fill_flows")
+
+    def __init__(self, seq: int, links: Set[FluidLink]):
+        self._seq = seq
+        self.links = links
+        self.heap: List[Tuple[float, int, int, FluidFlow]] = []
+        self.wake_gen = 0
+        self.alive = True
+        self.nflows = 0
+        #: Cached bottleneck order: list of ``(_STEP_* , payload)`` pairs.
+        self.fill_steps: Optional[List[Tuple[int, object]]] = None
+        #: The (registration-ordered) flows the cached order priced.
+        self.fill_flows: Optional[List[FluidFlow]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<_Component #{self._seq} {state} links={len(self.links)}>"
 
 
 class FlowNetwork:
@@ -194,31 +278,48 @@ class FlowNetwork:
     sim:
         The simulator driving this network.
     incremental:
-        ``True`` (default): dirty-component reallocation with the per-flow
-        completion heap.  ``False``: the original global allocator — kept as
-        a reference oracle; it produces identical rates, just slower.
+        ``True`` (default): dirty-component reallocation.  ``False``: the
+        reference oracle — every change re-prices every flow with a fresh
+        progressive filling (identical rates, slower); it shares the lazy
+        per-flow integration and wake machinery with the incremental path.
     perf:
         Optional :class:`~repro.perf.PerfCounters`; when given the network
-        bumps ``flow_starts``, ``flow_completions``, ``reallocations``,
-        ``rate_recomputations``, ``flows_touched``, ``components_refilled``
-        and ``wakes``.
+        bumps the ``flow_*`` / ``reallocations`` / ``rate_recomputations``
+        / ``flows_touched`` / ``components_refilled`` / ``wakes`` family
+        plus the ``fill_*`` (bottleneck-cache) and ``wake_*`` (heap-pool)
+        counters documented in :mod:`repro.perf`.
+    fill_cache:
+        Cache each component's bottleneck order and replay the verified
+        prefix on the next refill (incremental mode only; default on).
+    heap_pool:
+        Keep completion horizons in per-component heaps behind a component
+        index instead of one machine-wide heap (incremental mode only;
+        default on).  ``fill_cache=False, heap_pool=False`` is the PR-2
+        baseline regime the scale benchmark compares against.
     """
 
     def __init__(self, sim: Simulator, incremental: bool = True,
-                 perf=None):
+                 perf=None, fill_cache: bool = True, heap_pool: bool = True):
         self.sim = sim
         self.incremental = bool(incremental)
         self.perf = perf
+        self.fill_cache = bool(fill_cache) and self.incremental
+        self.heap_pool = bool(heap_pool) and self.incremental
+        #: Whether the component registry (link -> _Component) is maintained.
+        self._registry = self.fill_cache or self.heap_pool
         self._flows: Dict[FluidFlow, None] = {}
         self._seq = count()
-        self._last_time = sim.now
-        self._wake_generation = 0
         self._observers: List[Callable[[float, List[FluidFlow]], None]] = []
         self._in_reallocate = False
-        # Incremental-mode state: dirty links awaiting a component refill,
-        # and the (time, seq, gen, flow) completion-horizon heap.
+        #: Links awaiting a component refill.
         self._dirty: Dict[FluidLink, None] = {}
+        #: Flat-mode (and oracle-mode) completion-horizon heap.
         self._heap: List[Tuple[float, int, int, FluidFlow]] = []
+        #: Pool-mode index heap of (next_wake, comp_seq, wake_gen, component).
+        self._comp_index: List[Tuple[float, int, int, _Component]] = []
+        self._comp_seq = count()
+        self._ncomps = 0
+        self._wake_generation = 0
         self._wake_at: Optional[float] = None
 
     # -- public API ----------------------------------------------------------
@@ -256,13 +357,6 @@ class FlowNetwork:
                 self.perf.bump("flow_completions")
             done.succeed(flow)
             return flow
-        if not self.incremental:
-            self._advance()
-            self._flows[flow] = None
-            for link in flow.path:
-                link._active[flow] = None
-            self._reallocate_global()
-            return flow
         self._flows[flow] = None
         for link in flow.path:
             link._active[flow] = None
@@ -277,18 +371,11 @@ class FlowNetwork:
         if flow not in self._flows:  # cancelled or never registered
             flow.paused = True
             return
-        if not self.incremental:
-            self._advance()
-            flow.paused = True
-            for link in flow.path:
-                link._active.pop(flow, None)
-            self._reallocate_global()
-            return
         self._sync_flow(flow, self.sim.now)
         if flow.remaining <= _EPS_BYTES:
             # The flow delivered its last byte by now (pause raced its
-            # completion wake): it is done, not paused — exactly what the
-            # global path's completion sweep would conclude.
+            # completion wake): it is done, not paused — exactly what a
+            # whole-network completion sweep would conclude.
             self._finish_flow(flow, self.sim.now)
             self._mark_dirty(flow.path)
             self._reallocate()
@@ -308,13 +395,6 @@ class FlowNetwork:
         if flow not in self._flows:  # cancelled while paused
             flow.paused = False
             return
-        if not self.incremental:
-            self._advance()
-            flow.paused = False
-            for link in flow.path:
-                link._active[flow] = None
-            self._reallocate_global()
-            return
         flow.paused = False
         flow._synced = self.sim.now
         for link in flow.path:
@@ -333,10 +413,7 @@ class FlowNetwork:
         """
         if flow not in self._flows:
             return
-        if not self.incremental:
-            self._advance()
-        else:
-            self._sync_flow(flow, self.sim.now)
+        self._sync_flow(flow, self.sim.now)
         del self._flows[flow]
         for link in flow.path:
             link._active.pop(flow, None)
@@ -347,9 +424,6 @@ class FlowNetwork:
                 flow.done.fail(exc)
             else:
                 flow.done.succeed(None)
-        if not self.incremental:
-            self._reallocate_global()
-            return
         self._mark_dirty(flow.path)
         self._reallocate()
 
@@ -371,28 +445,17 @@ class FlowNetwork:
         return list(link._active)
 
     # -- progress integration ------------------------------------------------
-    def _advance(self) -> None:
+    def sync(self) -> None:
         """Integrate every flow's progress up to now.
 
-        The global path integrates everything from the shared ``_last_time``
-        checkpoint; on an incremental network each flow carries its own sync
-        point, so integrate per flow (a shared-dt pass would double-count
-        progress for flows already synced later than ``_last_time``).
+        Each flow carries its own sync point, so this is a per-flow
+        integration — there is no shared checkpoint to double-count from.
+        Rates are always current after a mutation; this only banks progress
+        (useful before inspecting ``remaining`` mid-simulation).
         """
         now = self.sim.now
-        if self.incremental:
-            for f in self._flows:
-                self._sync_flow(f, now)
-            self._last_time = now
-            return
-        dt = now - self._last_time
-        if dt > 0:
-            for f in self._flows:
-                if not f.paused and f.rate > 0:
-                    f.remaining = max(0.0, f.remaining - f.rate * dt)
-        self._last_time = now
         for f in self._flows:
-            f._synced = now
+            self._sync_flow(f, now)
 
     def _sync_flow(self, f: FluidFlow, now: float) -> None:
         """Integrate one flow's progress from its own sync point to ``now``."""
@@ -401,18 +464,9 @@ class FlowNetwork:
             f.remaining = max(0.0, f.remaining - f.rate * dt)
         f._synced = now
 
-    # -- progressive filling (shared by both modes) --------------------------
-    def _fill_rates(self, flows: List[FluidFlow]) -> None:
-        """Weighted max-min (progressive filling) over ``flows``.
-
-        ``flows`` must be unpaused and ordered by registration; every flow
-        is assigned a fresh rate.  Only links crossed by these flows are
-        read or written, which is what makes per-component refills exact.
-        """
-        if self.perf is not None:
-            self.perf.bump("rate_recomputations")
-            self.perf.bump("flows_touched", len(flows))
-        # Residual capacity per link; virtual per-flow links model rate caps.
+    # -- progressive filling ------------------------------------------------
+    def _fill_setup(self, flows: List[FluidFlow]):
+        """Residual capacity and per-link flow lists for a fill over ``flows``."""
         residual: Dict[FluidLink, float] = {}
         link_flows: Dict[FluidLink, List[FluidFlow]] = {}
         for f in flows:
@@ -421,7 +475,35 @@ class FlowNetwork:
                     residual[link] = link.capacity
                     link_flows[link] = []
                 link_flows[link].append(f)
-        unfixed: Set[FluidFlow] = set(flows)
+        return residual, link_flows
+
+    def _fill_rates(self, flows: List[FluidFlow],
+                    record: Optional[List[Tuple[int, object]]] = None) -> None:
+        """Weighted max-min (progressive filling) over ``flows``, from scratch.
+
+        ``flows`` must be unpaused and ordered by registration; every flow
+        is assigned a fresh rate.  Only links crossed by these flows are
+        read or written, which is what makes per-component refills exact.
+        ``record`` (when given) captures the bottleneck order for the
+        component's fill cache.
+        """
+        if self.perf is not None:
+            self.perf.bump("rate_recomputations")
+            self.perf.bump("flows_touched", len(flows))
+        residual, link_flows = self._fill_setup(flows)
+        self._fill_loop(flows, residual, link_flows, set(flows), record)
+
+    def _fill_loop(self, flows: List[FluidFlow],
+                   residual: Dict[FluidLink, float],
+                   link_flows: Dict[FluidLink, List[FluidFlow]],
+                   unfixed: Set[FluidFlow],
+                   record: Optional[List[Tuple[int, object]]]) -> None:
+        """The most-constrained-first filling loop, from the given state.
+
+        Runs the historical from-scratch scan; the cached-replay path calls
+        it with a partially fixed state to price everything after the first
+        changed bottleneck.
+        """
         while unfixed:
             # Most-constrained bottleneck: min rate-per-unit-weight over
             # links (and over flow caps, treated as private links).
@@ -448,121 +530,255 @@ class FlowNetwork:
                 # "instantly"; give them an effectively infinite rate.
                 for f in unfixed:
                     f.rate = math.inf
+                if record is not None:
+                    record.append((_STEP_INF, None))
                 break
             if best_flow is not None:
                 fixed = [best_flow]
+                if record is not None:
+                    record.append((_STEP_CAP, best_flow))
             else:
                 fixed = [f for f in link_flows[best_link] if f in unfixed]
+                if record is not None:
+                    record.append((_STEP_LINK, best_link))
             for f in fixed:
                 f.rate = f.weight * best_share
                 unfixed.discard(f)
                 for link in f.path:
                     residual[link] = max(0.0, residual[link] - f.rate)
 
-    def _compute_rates(self) -> None:
-        """Recompute every flow's rate from scratch (the global oracle)."""
-        active = [f for f in self._flows if not f.paused]
-        for f in self._flows:
-            f.rate = 0.0
-        if not active:
-            return
-        self._fill_rates(active)
+    def _fill_rates_cached(self, comp: _Component, flows: List[FluidFlow],
+                           comp_dirty: List[FluidLink]) -> None:
+        """Fill ``flows`` by replaying the component's cached bottleneck order.
 
-    # -- global (oracle) reallocation ----------------------------------------
-    def _reallocate_global(self) -> None:
-        """Recompute rates, schedule the next completion, notify observers."""
-        # Guard against observer callbacks (e.g. the cache model changing a
-        # link capacity) re-entering allocation: run them after we finish,
-        # and let any capacity change trigger a fresh, outermost pass.
-        if self._in_reallocate:
-            return
-        self._in_reallocate = True
-        if self.perf is not None:
-            self.perf.bump("reallocations")
-        try:
-            while True:
-                self._complete_finished()
-                self._compute_rates()
-                self._schedule_wake()
-                if not self._observers:
-                    break
-                observed_change = False
-                for fn in self._observers:
-                    fn(self.sim.now, list(self._flows))
-                # Observers may have changed capacities; FluidLink.set_capacity
-                # calls back into _reallocate_global which no-ops under the
-                # guard, so detect staleness by re-deriving rates and comparing.
-                before = [(f, f.rate) for f in self._flows]
-                self._compute_rates()
-                for f, r in before:
-                    if f.rate != r:
-                        observed_change = True
+        Replays cached steps while they are provably still what the fresh
+        scan would choose; prices the rest with the fresh loop from the
+        replayed state.  Bit-identical to :meth:`_fill_rates` because every
+        reused step's share is recomputed from residuals maintained exactly
+        as the fresh loop maintains them, and any step a dirty link or a
+        changed flow could plausibly preempt is not reused.
+        """
+        perf = self.perf
+        if perf is not None:
+            perf.bump("rate_recomputations")
+            perf.bump("flows_touched", len(flows))
+        steps = comp.fill_steps
+        prev = comp.fill_flows
+        residual, link_flows = self._fill_setup(flows)
+        unfixed = set(flows)
+        record: List[Tuple[int, object]] = []
+        reused = 0
+        if steps:
+            # Links whose population or capacity changed since the cached
+            # fill: the refill's dirty seeds plus every link crossed by an
+            # added or removed flow.  Steps bottlenecked elsewhere replay
+            # exactly; these links are re-checked at every reused step.
+            changed_links: Set[FluidLink] = set(comp_dirty)
+            new_caps: List[FluidFlow] = []
+            prev_set = set(prev)
+            for f in flows:
+                if f not in prev_set:
+                    changed_links.update(f.path)
+                    if f.cap is not None:
+                        new_caps.append(f)
+            for f in prev:
+                if f not in unfixed:
+                    changed_links.update(f.path)
+            # Incrementally maintained (weight sum, unfixed count) per
+            # changed link; the count is exact, the sum is within float
+            # noise of the fresh scan's (covered by _REPLAY_MARGIN).
+            dirty_w: Dict[FluidLink, List[float]] = {}
+            for d in changed_links:
+                lf = link_flows.get(d)
+                if lf is not None and not math.isinf(residual[d]):
+                    dirty_w[d] = [sum(f.weight for f in lf), len(lf)]
+            for kind, obj in steps:
+                if kind == _STEP_INF:
+                    break  # terminal; let the fresh loop re-derive it
+                if kind == _STEP_LINK:
+                    link = obj
+                    lflows = link_flows.get(link)
+                    if lflows is None:
+                        continue  # no live flow crosses it; fresh scan skips it
+                    if link in changed_links:
                         break
-                if not observed_change:
+                    w = 0.0
+                    fixed = []
+                    for f in lflows:
+                        if f in unfixed:
+                            w += f.weight
+                            fixed.append(f)
+                    if w <= 0:
+                        continue  # everything on it already fixed; scan skips it
+                    share = residual[link] / w
+                else:
+                    f0 = obj
+                    if f0 not in unfixed:
+                        continue  # flow gone (or repriced away); scan skips it
+                    share = f0.cap / f0.weight
+                    fixed = [f0]
+                ok = True
+                for d, (wd, nd) in dirty_w.items():
+                    if nd <= 0:
+                        continue
+                    if wd <= 0 or residual[d] <= share * wd * _REPLAY_MARGIN:
+                        ok = False
+                        break
+                if ok:
+                    for f in new_caps:
+                        if f in unfixed and f is not obj \
+                                and f.cap / f.weight <= share:
+                            ok = False
+                            break
+                if not ok:
                     break
-        finally:
-            self._in_reallocate = False
+                # Reuse: apply exactly what the fresh loop would have.
+                record.append((kind, obj))
+                reused += 1
+                for f in fixed:
+                    f.rate = f.weight * share
+                    unfixed.discard(f)
+                    for plink in f.path:
+                        residual[plink] = max(0.0, residual[plink] - f.rate)
+                        entry = dirty_w.get(plink)
+                        if entry is not None:
+                            entry[0] -= f.weight
+                            entry[1] -= 1
+        if perf is not None:
+            perf.bump("fill_steps_reused", reused)
+            if reused == 0:
+                perf.bump("fill_cache_misses")
+            elif unfixed:
+                perf.bump("fill_partial_refills")
+            else:
+                perf.bump("fill_cache_hits")
+        if unfixed:
+            self._fill_loop(flows, residual, link_flows, unfixed, record)
+        comp.fill_steps = record
+        comp.fill_flows = list(flows)
 
-    def _complete_finished(self) -> None:
-        now = self.sim.now
-        finished = [f for f in self._flows if f.remaining <= _EPS_BYTES]
-        for f in finished:
-            del self._flows[f]
-            for link in f.path:
-                link._active.pop(f, None)
-            f._gen += 1
-            f.remaining = 0.0
-            f.rate = 0.0
-            f.finish_time = now
-            if self.perf is not None:
-                self.perf.bump("flow_completions")
-            f.done.succeed(f)
+    # -- component registry --------------------------------------------------
+    def _resolve_component(self, links: Set[FluidLink]) -> _Component:
+        """Map a refill's visited link set onto the component registry.
 
-    def _schedule_wake(self) -> None:
-        self._wake_generation += 1
-        gen = self._wake_generation
-        horizon = math.inf
-        for f in self._flows:
-            if not f.paused and f.rate > 0:
-                if math.isinf(f.rate):
-                    horizon = 0.0
-                    break
-                horizon = min(horizon, f.remaining / f.rate)
-        if math.isinf(horizon):
-            return
-        now = self.sim.now
-        target = now + horizon
-        if target <= now:
-            # Horizon below float resolution at the current clock value (a
-            # nearly-finished flow at a high rate).  Advance by one ulp: the
-            # resulting dt moves at least rate * ulp >= remaining bytes, so
-            # the flow completes instead of spinning at `now` forever.
-            target = now + math.ulp(now if now > 0 else 1.0)
+        An exact match (or any reshape with at least one owner) keeps a
+        stable component identity — heap, fill cache and any remainder's
+        live entries stay in place — and inherits the largest owner's
+        bottleneck cache on merges (replay verification makes inheritance
+        safe).  A brand-new region gets a fresh component.
+        """
+        owners: Dict[_Component, None] = {}
+        for link in links:
+            comp = link._comp
+            if comp is not None:
+                owners[comp] = None
+        # Only an owner whose *recorded* domain genuinely overlaps the
+        # visited set may keep its identity: a pointer left behind by an
+        # earlier reshape is a stale forwarding address, not membership.
+        # (Without this, the two halves of a split keep stealing one
+        # shared component back and forth forever, wiping each other's
+        # fill cache on every refill.)
+        keep: Optional[_Component] = None
+        for old in owners:
+            if not links.isdisjoint(old.links):
+                keep = old
+                break
+        if keep is not None and len(owners) == 1 and keep.links == links:
+            return keep  # steady state: the same region refilled again
+        best: Optional[_Component] = None
+        for old in owners:
+            if old.fill_flows is not None and (
+                    best is None or len(old.fill_flows) > len(best.fill_flows)):
+                best = old
+            if old is keep:
+                continue
+            old.links -= links
+            if not old.links and old.alive and not old.heap:
+                # Reshapes leave stale link pointers behind, so an emptied
+                # recorded domain does NOT prove the heap holds no live
+                # entries (a stale-pointer remainder's completion may
+                # still be scheduled here).  Only a drained heap may be
+                # retired; otherwise the component lingers alive, its
+                # index entries keep firing, and the guards sort live
+                # entries from garbage.
+                old.alive = False
+                self._ncomps -= 1
+        if keep is None:
+            # A brand-new region, or one known only through stale
+            # pointers (the far half of a split): fresh component,
+            # inheriting the largest owner's cache below — replay
+            # verification makes inheritance safe, and after a split it
+            # often still covers these flows.
+            keep = _Component(next(self._comp_seq), links)
+            self._ncomps += 1
+        else:
+            # Reshape in place: keep's heap, cache and any shrunk-off
+            # remainder's still-live entries stay served where they are.
+            keep.links = links
+            if not keep.alive:  # defensive: overlap implies alive today
+                keep.alive = True
+                self._ncomps += 1
+        if best is not None and best is not keep:
+            keep.fill_steps = best.fill_steps
+            keep.fill_flows = best.fill_flows
+        for link in links:
+            link._comp = keep
+        if self.perf is not None:
+            self.perf.bump("wake_comp_rebuilds")
+        return keep
 
-        def _wake() -> None:
-            if gen != self._wake_generation:
-                return  # superseded by a later reallocation
-            if self.perf is not None:
-                self.perf.bump("wakes")
-            self._advance()
-            self._reallocate_global()
-
-        self.sim.call_at(target, _wake)
-
-    # -- incremental reallocation --------------------------------------------
+    # -- reallocation ---------------------------------------------------------
     def _mark_dirty(self, links: Iterable[FluidLink]) -> None:
         for link in links:
             self._dirty[link] = None
 
-    def _components(self, seeds: List[FluidLink]) -> List[List[FluidFlow]]:
+    def _components(self, seeds: List[FluidLink]):
         """Connected components of the link/flow graph reachable from seeds.
 
-        Each component is returned as its flows sorted by registration
-        order, which keeps the filling's bottleneck tie-breaks and residual
-        arithmetic identical to the global allocator's.
+        Yields ``(flows, links, dirty)`` per non-empty component: the flows
+        sorted by registration order (keeping the filling's bottleneck
+        tie-breaks and residual arithmetic identical to a whole-network
+        fill), the visited link set, and the seeds absorbed into it.
+        Without the component registry (the flat baseline) the link-set and
+        dirty-seed bookkeeping is skipped — nothing reads it.
         """
+        if not self._registry:
+            return self._components_lean(seeds)
+        owner: Dict[FluidLink, int] = {}  # doubles as the visited set
+        comps: List[Tuple[Set[FluidLink], Dict[FluidFlow, None]]] = []
+        for seed in seeds:
+            if seed in owner:
+                continue
+            idx = len(comps)
+            owner[seed] = idx
+            links: Set[FluidLink] = {seed}
+            stack = [seed]
+            flows: Dict[FluidFlow, None] = {}
+            while stack:
+                link = stack.pop()
+                for f in link._active:
+                    if f in flows:
+                        continue
+                    flows[f] = None
+                    for other in f.path:
+                        if other not in owner:
+                            owner[other] = idx
+                            links.add(other)
+                            stack.append(other)
+            comps.append((links, flows))
+        dirty_by_comp: List[List[FluidLink]] = [[] for _ in comps]
+        for seed in seeds:
+            dirty_by_comp[owner[seed]].append(seed)
+        out = []
+        for (links, flows), dirty in zip(comps, dirty_by_comp):
+            if flows:
+                out.append((sorted(flows, key=lambda f: f._seq), links, dirty))
+        return out
+
+    def _components_lean(self, seeds: List[FluidLink]):
+        """The registry-free BFS: flows only (the historical walk)."""
         visited: Set[FluidLink] = set()
-        comps: List[List[FluidFlow]] = []
+        out = []
         for seed in seeds:
             if seed in visited:
                 continue
@@ -580,8 +796,8 @@ class FlowNetwork:
                             visited.add(other)
                             stack.append(other)
             if flows:
-                comps.append(sorted(flows, key=lambda f: f._seq))
-        return comps
+                out.append((sorted(flows, key=lambda f: f._seq), None, None))
+        return out
 
     def _finish_flow(self, f: FluidFlow, now: float) -> None:
         del self._flows[f]
@@ -595,7 +811,8 @@ class FlowNetwork:
             self.perf.bump("flow_completions")
         f.done.succeed(f)
 
-    def _refill_component(self, flows: List[FluidFlow], now: float) -> None:
+    def _refill_component(self, flows: List[FluidFlow], links: Set[FluidLink],
+                          dirty: List[FluidLink], now: float) -> None:
         """Sync, complete, and re-price one dirty component."""
         if self.perf is not None:
             self.perf.bump("components_refilled")
@@ -606,15 +823,64 @@ class FlowNetwork:
                 self._finish_flow(f, now)
             else:
                 live.append(f)
+        comp = self._resolve_component(links) if self._registry else None
+        if not live:
+            if comp is not None:
+                comp.fill_steps = None
+                comp.fill_flows = None
+                comp.nflows = 0
+                if self.heap_pool:
+                    self._reindex_component(comp)
+            return
+        use_cache = (self.fill_cache and comp is not None
+                     and len(live) >= _CACHE_MIN_FLOWS)
+        if use_cache and comp.fill_steps is not None:
+            self._fill_rates_cached(comp, live, dirty)
+        else:
+            record: Optional[List[Tuple[int, object]]] = \
+                [] if use_cache else None
+            if self.perf is not None and use_cache:
+                self.perf.bump("fill_cache_misses")
+            self._fill_rates(live, record)
+            if comp is not None:
+                # A fill that bypassed the cache must also drop it: the
+                # cached order no longer reflects this fill's outcome, so
+                # replaying it later would verify against the wrong state.
+                comp.fill_steps = record
+                comp.fill_flows = list(live) if record is not None else None
+        self._push_horizons(live, now, comp)
+
+    def _refill_global(self, now: float) -> None:
+        """The oracle: sync and re-price every flow, fresh."""
+        if self.perf is not None:
+            self.perf.bump("components_refilled")
+        live: List[FluidFlow] = []
+        for f in list(self._flows):
+            self._sync_flow(f, now)
+            if f.remaining <= _EPS_BYTES:
+                self._finish_flow(f, now)
+            elif not f.paused:
+                live.append(f)
         if not live:
             return
         self._fill_rates(live)
-        heap = self._heap
+        self._push_horizons(live, now, None)
+
+    def _push_horizons(self, live: List[FluidFlow], now: float,
+                       comp: Optional[_Component]) -> None:
+        """Invalidate old heap entries and push fresh completion horizons."""
+        use_pool = self.heap_pool and comp is not None
+        heap = comp.heap if use_pool else self._heap
         for f in live:
             f._gen += 1
+            if comp is not None:
+                f._comp = comp
             if f.rate > 0:
                 when = now if math.isinf(f.rate) else now + f.remaining / f.rate
                 heapq.heappush(heap, (when, f._seq, f._gen, f))
+        if use_pool:
+            comp.nflows = len(live)
+            self._reindex_component(comp)
 
     def _reallocate(self) -> None:
         """Refill every dirty component, schedule the wake, notify observers."""
@@ -629,8 +895,11 @@ class FlowNetwork:
                     seeds = list(self._dirty)
                     self._dirty.clear()
                     now = self.sim.now
-                    for comp in self._components(seeds):
-                        self._refill_component(comp, now)
+                    if self.incremental:
+                        for flows, links, dirty in self._components(seeds):
+                            self._refill_component(flows, links, dirty, now)
+                    else:
+                        self._refill_global(now)
                 self._schedule_next_wake()
                 if not self._observers:
                     break
@@ -645,24 +914,94 @@ class FlowNetwork:
         finally:
             self._in_reallocate = False
 
-    def _schedule_next_wake(self) -> None:
+    # -- wake scheduling -----------------------------------------------------
+    def _reindex_component(self, comp: _Component) -> None:
+        """Refresh a component's entry in the next-wake index.
+
+        Pops stale heap tops (repriced, finished, cancelled, or migrated to
+        another component — the ownership guard), compacts the component's
+        heap when garbage dominates, and re-arms the index with the live
+        top under a fresh wake generation.
+        """
+        heap = comp.heap
+        perf = self.perf
+        while heap and (heap[0][2] != heap[0][3]._gen
+                        or heap[0][3]._comp is not comp):
+            heapq.heappop(heap)
+            if perf is not None:
+                perf.bump("wake_stale_pops")
+        if len(heap) > 64 and len(heap) > 4 * comp.nflows:
+            live = [e for e in heap
+                    if e[2] == e[3]._gen and e[3]._comp is comp]
+            heap[:] = live
+            heapq.heapify(heap)
+            if perf is not None:
+                perf.bump("wake_compactions")
+        comp.wake_gen += 1
+        if heap:
+            heapq.heappush(self._comp_index,
+                           (heap[0][0], comp._seq, comp.wake_gen, comp))
+
+    def _pool_next_horizon(self) -> Optional[float]:
+        """Earliest live completion horizon across the component pool."""
+        index = self._comp_index
+        perf = self.perf
+        if len(index) > 64 and len(index) > 4 * max(1, self._ncomps):
+            live = [e for e in index if e[3].alive and e[2] == e[3].wake_gen]
+            index[:] = live
+            heapq.heapify(index)
+            if perf is not None:
+                perf.bump("wake_compactions")
+        while index:
+            when, _, gen, comp = index[0]
+            if not comp.alive or gen != comp.wake_gen:
+                heapq.heappop(index)
+                if perf is not None:
+                    perf.bump("wake_stale_pops")
+                continue
+            heap = comp.heap
+            if heap and heap[0][0] == when and heap[0][2] == heap[0][3]._gen \
+                    and heap[0][3]._comp is comp:
+                return when
+            # The component's top went stale since it was indexed: drop the
+            # entry, let _reindex_component re-arm it with the live top.
+            heapq.heappop(index)
+            self._reindex_component(comp)
+        return None
+
+    def _flat_next_horizon(self) -> Optional[float]:
+        """Earliest live completion horizon in the machine-wide heap."""
         heap = self._heap
+        perf = self.perf
         # Drop stale entries (flow re-priced, finished, paused or cancelled
         # since the push) and compact the heap if garbage dominates.
         while heap and heap[0][2] != heap[0][3]._gen:
             heapq.heappop(heap)
+            if perf is not None:
+                perf.bump("wake_stale_pops")
         if len(heap) > 64 and len(heap) > 4 * len(self._flows):
             live = [e for e in heap if e[2] == e[3]._gen]
             heap[:] = live
             heapq.heapify(heap)
+            if perf is not None:
+                perf.bump("wake_compactions")
         if not heap:
+            return None
+        return heap[0][0]
+
+    def _schedule_next_wake(self) -> None:
+        if self.heap_pool:
+            target = self._pool_next_horizon()
+        else:
+            target = self._flat_next_horizon()
+        if target is None:
             return
-        target = heap[0][0]
         now = self.sim.now
         if target <= now:
             # Horizon below float resolution at the current clock value (a
-            # nearly-finished flow at a high rate): advance one ulp so the
-            # integration step covers the residual bytes (see global path).
+            # nearly-finished flow at a high rate).  Advance by one ulp: the
+            # resulting dt moves at least rate * ulp >= remaining bytes, so
+            # the flow completes instead of spinning at `now` forever.
             target = now + math.ulp(now if now > 0 else 1.0)
         if self._wake_at is not None and self._wake_at <= target:
             return  # an earlier (or equal) wake is already pending
@@ -681,15 +1020,43 @@ class FlowNetwork:
     def _on_wake(self) -> None:
         """Handle the earliest completion horizon(s) reaching the clock."""
         now = self.sim.now
-        if self.perf is not None:
-            self.perf.bump("wakes")
-        heap = self._heap
-        due: List[FluidFlow] = []
-        while heap and heap[0][0] <= now:
-            _, _, gen, f = heapq.heappop(heap)
-            if gen == f._gen:
-                due.append(f)
-        for f in due:
+        perf = self.perf
+        if perf is not None:
+            perf.bump("wakes")
+        due: List[Tuple[float, int, FluidFlow]] = []
+        if self.heap_pool:
+            index = self._comp_index
+            touched: List[_Component] = []
+            while index and index[0][0] <= now:
+                _, _, gen, comp = heapq.heappop(index)
+                if not comp.alive or gen != comp.wake_gen:
+                    if perf is not None:
+                        perf.bump("wake_stale_pops")
+                    continue
+                touched.append(comp)
+                heap = comp.heap
+                while heap and heap[0][0] <= now:
+                    when, seq, fgen, f = heapq.heappop(heap)
+                    if fgen == f._gen and f._comp is comp:
+                        due.append((when, seq, f))
+                    elif perf is not None:
+                        perf.bump("wake_stale_pops")
+            # Re-arm drained components before anything reschedules: a
+            # shrunk component's untouched remainder keeps its future
+            # completions indexed even though this wake consumed its entry.
+            for comp in touched:
+                if comp.alive:
+                    self._reindex_component(comp)
+            due.sort()
+        else:
+            heap = self._heap
+            while heap and heap[0][0] <= now:
+                when, seq, fgen, f = heapq.heappop(heap)
+                if fgen == f._gen:
+                    due.append((when, seq, f))
+                elif perf is not None:
+                    perf.bump("wake_stale_pops")
+        for _, _, f in due:
             self._sync_flow(f, now)
             self._mark_dirty(f.path)
             if f.remaining <= _EPS_BYTES:

@@ -173,22 +173,27 @@ def test_views_are_the_default_contract():
     assert isinstance(captured["active"], DescriptorSetView)
 
 
-def test_legacy_escape_hatch_gets_lists_and_deprecation_warning():
-    captured = {}
+def test_legacy_escape_hatch_is_gone():
+    """supports_views = False (the one-release shim) now fails loudly at
+    class definition instead of silently materializing lists."""
+    with pytest.raises(TypeError, match="supports_views"):
+        class Legacy(Strategy):
+            name = "legacy"
+            supports_views = False
 
-    class Legacy(Strategy):
-        name = "legacy"
-        supports_views = False  # the one-release escape hatch
+            def decide(self, now, active, waiting, incoming):
+                return Decision(Action.GO)
+
+    # Declaring it True (the old default) stays harmless.
+    class Fine(Strategy):
+        name = "fine"
+        supports_views = True
 
         def decide(self, now, active, waiting, incoming):
-            captured["active"] = active
             return Decision(Action.GO)
 
-    arb = Arbiter(Simulator(), Legacy())
-    with pytest.warns(DeprecationWarning, match="removed in the next release"):
-        arb.on_inform(desc("a"))
-    assert isinstance(captured["active"], list)
-    arb.on_inform(desc("b"))  # second decision: warned once per class
+    arb = Arbiter(Simulator(), Fine())
+    assert arb.on_inform(desc("a"))
 
 
 def test_active_view_order_is_first_decision_order():

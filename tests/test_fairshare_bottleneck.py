@@ -1,0 +1,389 @@
+"""Cross-checks of the bottleneck-incremental filling and wake-heap pool.
+
+The PR-5 kernel layers — cached bottleneck orders with verified prefix
+replay, and the per-component wake-heap pool behind the component
+registry — must be *pure* optimizations: bit-identical rates and
+completion times against the PR-2 incremental baseline
+(``FlowNetwork(sim, fill_cache=False, heap_pool=False)``) on any topology
+and any event sequence.  Equality here is exact (``==``), not approximate:
+a replayed step recomputes the same floats the fresh scan would.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentEngine, build_scenario
+from repro.simcore import FluidLink, FlowNetwork, Simulator
+from repro.perf import PerfCounters
+
+HORIZON = 400.0
+
+
+def _random_script(seed: int, nlinks: int = 5, nflows: int = 48,
+                   nevents: int = 24):
+    """Randomized starts plus mid-flight mutations, with components large
+    enough (few links, many flows) to engage the fill cache."""
+    rng = np.random.default_rng(seed)
+    capacities = rng.uniform(100.0, 1000.0, size=nlinks)
+    starts = []
+    for i in range(nflows):
+        npath = int(rng.integers(1, min(3, nlinks) + 1))
+        path = sorted(rng.choice(nlinks, size=npath, replace=False).tolist())
+        starts.append({
+            "time": float(rng.uniform(0.0, 30.0)),
+            "size": float(rng.uniform(100.0, 20000.0)),
+            "path": path,
+            "weight": float(rng.uniform(0.5, 8.0)),
+            "cap": (float(rng.uniform(5.0, 80.0))
+                    if rng.random() < 0.6 else None),
+        })
+    events = []
+    for _ in range(nevents):
+        kind = rng.choice(["pause", "resume", "cancel", "capacity"])
+        events.append({
+            "time": float(rng.uniform(1.0, 80.0)),
+            "kind": str(kind),
+            "flow": int(rng.integers(0, nflows)),
+            "link": int(rng.integers(0, nlinks)),
+            "capacity": float(rng.uniform(60.0, 1200.0)),
+        })
+    return capacities, starts, events
+
+
+def _run_script(capacities, starts, events, **net_kwargs):
+    """Execute one script; returns per-flow (finish, remaining, rate)."""
+    sim = Simulator()
+    net = FlowNetwork(sim, **net_kwargs)
+    links = [FluidLink(float(c), f"l{j}") for j, c in enumerate(capacities)]
+    flows = {}
+
+    def starter(idx, spec):
+        yield sim.timeout(spec["time"])
+        flows[idx] = net.start_flow(
+            spec["size"], [links[j] for j in spec["path"]],
+            weight=spec["weight"], cap=spec["cap"], label=f"f{idx}")
+
+    def mutator(ev):
+        yield sim.timeout(ev["time"])
+        flow = flows.get(ev["flow"])
+        if ev["kind"] == "pause" and flow is not None:
+            net.pause_flow(flow)
+        elif ev["kind"] == "resume" and flow is not None:
+            net.resume_flow(flow)
+        elif ev["kind"] == "cancel" and flow is not None:
+            net.cancel_flow(flow)
+        elif ev["kind"] == "capacity":
+            links[ev["link"]].set_capacity(ev["capacity"])
+
+    for idx, spec in enumerate(starts):
+        sim.process(starter(idx, spec))
+    for ev in events:
+        sim.process(mutator(ev))
+    sim.run(until=HORIZON)
+    return {idx: (None if idx not in flows else
+                  (flows[idx].finish_time, flows[idx].remaining,
+                   flows[idx].rate))
+            for idx in range(len(starts))}
+
+
+@pytest.mark.parametrize("seed", range(14))
+def test_cached_fill_matches_baseline_exactly(seed):
+    """Same script, cache+pool vs the PR-2 baseline: bit-identical state."""
+    script = _random_script(seed)
+    cached = _run_script(*script, fill_cache=True, heap_pool=True)
+    baseline = _run_script(*script, fill_cache=False, heap_pool=False)
+    assert cached.keys() == baseline.keys()
+    for idx in cached:
+        a, b = cached[idx], baseline[idx]
+        if a is None or b is None:
+            assert a == b
+            continue
+        for x, y, what in zip(a, b, ("finish_time", "remaining", "rate")):
+            if math.isnan(x) or math.isnan(y):
+                assert math.isnan(x) and math.isnan(y), (idx, what, x, y)
+            else:
+                assert x == y, f"flow {idx} {what}: cached={x!r} baseline={y!r}"
+
+
+@pytest.mark.parametrize("seed", [3, 9])
+@pytest.mark.parametrize("feature",
+                         [{"fill_cache": True, "heap_pool": False},
+                          {"fill_cache": False, "heap_pool": True}])
+def test_each_layer_is_independently_exact(seed, feature):
+    """Cache-only and pool-only must each match the baseline bit for bit."""
+    script = _random_script(seed)
+    solo = _run_script(*script, **feature)
+    baseline = _run_script(*script, fill_cache=False, heap_pool=False)
+    assert solo == baseline or all(
+        (a == b or (a is not None and b is not None
+                    and all((x == y or (math.isnan(x) and math.isnan(y)))
+                            for x, y in zip(a, b))))
+        for a, b in zip(solo.values(), baseline.values()))
+
+
+def test_cache_counters_report_hits_and_partial_refills():
+    """A churny many-flow component must actually hit the cache."""
+    perf = PerfCounters()
+    sim = Simulator(perf=perf)
+    net = FlowNetwork(sim, perf=perf)
+    server = FluidLink(1e9, "server")
+    # A stable cohort (low caps, long flows) plus cycling bursts.
+    for j in range(20):
+        net.start_flow(2e4 * (1 + 0.01 * j), [server], cap=100.0 + j,
+                       label=f"stable{j}")
+
+    def burst(i):
+        yield sim.timeout(0.1 * i)
+        for k in range(4):
+            flow = net.start_flow(500.0, [server], cap=900.0 + i + k)
+            yield flow.done
+            yield sim.timeout(0.2)
+
+    for i in range(8):
+        sim.process(burst(i))
+    sim.run()
+    assert perf.get("fill_cache_hits") > 0
+    assert perf.get("fill_partial_refills") > 0
+    assert perf.get("fill_steps_reused") > 20
+    assert perf.get("wake_stale_pops") > 0
+
+
+def test_component_registry_survives_merge_and_split():
+    """A bridge flow unions two components; its end splits them again —
+    with every completion firing exactly once at the baseline time."""
+    def run(**net_kwargs):
+        sim = Simulator()
+        net = FlowNetwork(sim, **net_kwargs)
+        left = FluidLink(100.0, "left")
+        right = FluidLink(100.0, "right")
+        fires = []
+        flows = []
+        # Enough flows per side to exceed the cache threshold.
+        for i in range(6):
+            flows.append(net.start_flow(1000.0 + 10 * i, [left],
+                                        cap=30.0 + i, label=f"L{i}"))
+            flows.append(net.start_flow(1200.0 + 10 * i, [right],
+                                        cap=28.0 + i, label=f"R{i}"))
+        for f in flows:
+            f.done.callbacks.append(lambda ev: fires.append(ev.value.label))
+
+        def bridge():
+            yield sim.timeout(2.0)
+            b = net.start_flow(500.0, [left, right], label="bridge")
+            yield b.done
+            yield sim.timeout(1.0)
+            b2 = net.start_flow(400.0, [left, right], label="bridge2")
+            yield sim.timeout(1.0)
+            net.cancel_flow(b2)  # split while entries are still heap-live
+
+        sim.process(bridge())
+        sim.run()
+        return [f.finish_time for f in flows], fires
+
+    times_cached, fires_cached = run(fill_cache=True, heap_pool=True)
+    times_base, fires_base = run(fill_cache=False, heap_pool=False)
+    assert times_cached == times_base
+    assert sorted(fires_cached) == sorted(fires_base)
+    assert len(fires_cached) == len(set(fires_cached))  # exactly once each
+
+
+def test_cancel_mid_refill_leaves_no_stale_wake_for_detached_component():
+    """Satellite regression: cancelling (or pausing) a flow while its
+    component is mid-refill — from an observer running inside the
+    reallocation loop — must not leave a heap entry that fires for a
+    detached component or double-completes a migrated flow."""
+    def run(**net_kwargs):
+        sim = Simulator()
+        net = FlowNetwork(sim, **net_kwargs)
+        left = FluidLink(100.0, "left")
+        right = FluidLink(100.0, "right")
+        flows = [net.start_flow(500.0 + 5 * i, [left], cap=20.0 + i)
+                 for i in range(5)]
+        flows += [net.start_flow(600.0 + 5 * i, [right], cap=18.0 + i)
+                  for i in range(5)]
+        victim = net.start_flow(5000.0, [left], cap=25.0, label="victim")
+        state = {"fired": 0, "cancelled": False}
+        victim.done.callbacks.append(
+            lambda ev: state.__setitem__("fired", state["fired"] + 1))
+
+        def observer(now, active):
+            # Mid-reallocation: detach the victim while the refill that
+            # re-priced it is still on the stack.
+            if now >= 3.0 and not state["cancelled"]:
+                state["cancelled"] = True
+                net.cancel_flow(victim)
+
+        net.add_observer(observer)
+
+        def bridge():
+            yield sim.timeout(1.0)
+            b = net.start_flow(300.0, [left, right], label="bridge")
+            yield b.done
+
+        sim.process(bridge())
+        sim.run()
+        return [f.finish_time for f in flows], state
+
+    times_cached, state_cached = run(fill_cache=True, heap_pool=True)
+    times_base, state_base = run(fill_cache=False, heap_pool=False)
+    assert times_cached == times_base
+    # The cancelled flow's event fired exactly once (the cancellation),
+    # never again from a stale wake of a dead component.
+    assert state_cached["fired"] == 1 == state_base["fired"]
+    assert all(not math.isnan(t) for t in times_cached)  # all completed
+
+
+def test_pause_mid_refill_is_exact_and_resumable():
+    def run(**net_kwargs):
+        sim = Simulator()
+        net = FlowNetwork(sim, **net_kwargs)
+        link = FluidLink(200.0)
+        flows = [net.start_flow(800.0 + 7 * i, [link], cap=15.0 + i)
+                 for i in range(10)]
+        target = flows[3]
+
+        def controller():
+            yield sim.timeout(2.0)
+            net.pause_flow(target)
+            yield sim.timeout(5.0)
+            net.resume_flow(target)
+
+        sim.process(controller())
+        sim.run()
+        return [f.finish_time for f in flows]
+
+    assert run(fill_cache=True, heap_pool=True) == \
+        run(fill_cache=False, heap_pool=False)
+
+
+def test_cache_survives_a_transient_bridge():
+    """Regression: a short-lived bridge flow merges two regions; once it
+    ends, each region must get its own component back (a stale pointer is
+    a forwarding address, not membership) — otherwise the halves steal one
+    shared component back and forth, wiping each other's fill cache on
+    every refill."""
+    perf = PerfCounters()
+    sim = Simulator(perf=perf)
+    net = FlowNetwork(sim, perf=perf)
+    a, b = FluidLink(1e9, "a"), FluidLink(1e9, "b")
+    for j in range(10):
+        net.start_flow(2e4, [a], cap=100.0 + j)
+        net.start_flow(2e4, [b], cap=100.0 + j)
+    net.start_flow(500.0, [a, b], cap=500.0, label="bridge")  # ends early
+
+    def burst(i, link):
+        yield sim.timeout(0.05 * i)
+        for k in range(6):
+            f = net.start_flow(300.0, [link], cap=900.0 + i + k)
+            yield f.done
+            yield sim.timeout(0.1)
+
+    for i in range(5):
+        sim.process(burst(i, a))
+        sim.process(burst(i, b))
+    sim.run()
+    refills = (perf.get("fill_cache_hits") + perf.get("fill_partial_refills")
+               + perf.get("fill_cache_misses"))
+    assert perf.get("fill_cache_hits") > 0.3 * refills, perf.as_dict()
+    assert perf.get("fill_cache_misses") < 0.1 * refills, perf.as_dict()
+    # ... and the regions are separate components again.
+    assert a._comp is not b._comp
+
+
+def test_merge_must_not_drop_a_stale_pointer_remainders_wake():
+    """Regression (found by the scenario equivalence sweep): reshapes leave
+    stale link->component pointers, so a component whose *recorded* links
+    are fully absorbed by a merge can still hold another region's live
+    heap entries.  Retiring it (or keeping it dead when stale pointers
+    bring it back as the keeper) silently drops those completions."""
+    def run(**net_kwargs):
+        sim = Simulator()
+        net = FlowNetwork(sim, **net_kwargs)
+        c_sat, c_main = FluidLink(100.0, "c_sat"), FluidLink(100.0, "c_main")
+        d_sat, d_main = FluidLink(100.0, "d_sat"), FluidLink(100.0, "d_main")
+        # One component per family via a bridge; cancelling the bridge
+        # splits it with in-place reshapes, leaving each *_sat link as a
+        # stale-pointer remainder whose flow's wake lives in the family
+        # component's heap.
+        ca = net.start_flow(5000.0, [c_sat], label="ca")     # done at t=50
+        cb = net.start_flow(4000.0, [c_main], label="cb")
+        da = net.start_flow(5000.0, [d_sat], label="da")
+        db = net.start_flow(4000.0, [d_main], label="db")
+        bc = net.start_flow(1e9, [c_sat, c_main], label="bc")
+        bd = net.start_flow(1e9, [d_sat, d_main], label="bd")
+
+        def driver():
+            yield sim.timeout(1.0)
+            net.cancel_flow(bc)
+            net.cancel_flow(bd)
+            yield sim.timeout(1.0)
+            # Merge the two main regions: whichever family component is
+            # not kept has its recorded links fully absorbed here while
+            # its satellite's wake still lives in its heap.
+            m = net.start_flow(100.0, [c_main, d_main], label="m")
+            yield m.done
+
+        sim.process(driver())
+        sim.run()
+        return [f.finish_time for f in (ca, cb, da, db)]
+
+    times_pool = run(fill_cache=True, heap_pool=True)
+    times_flat = run(fill_cache=False, heap_pool=False)
+    assert times_pool == times_flat
+    assert all(not math.isnan(t) for t in times_pool)
+
+
+# ---------------------------------------------------------------------------
+# Full-stack equivalence on the high-churn scenarios
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scenario,kwargs", [
+    ("checkpoint-waves", dict(napps=30, nservers=6, ncohorts=3, phases=2,
+                              bridge_every=4)),
+    ("read-write-mix", dict(napps=18, nservers=6, phases=4)),
+])
+def test_scenarios_identical_across_kernel_regimes(scenario, kwargs):
+    """checkpoint-waves / read-write-mix: the cached kernel, the PR-2
+    baseline and the global oracle all tell the same story."""
+    engine = ExperimentEngine()
+    results = {}
+    for allocator in ("incremental", "incremental-flat", "global"):
+        spec = build_scenario(scenario, allocator=allocator, **kwargs)[0]
+        results[allocator] = engine.run(spec)
+    rec_inc = results["incremental"].records
+    rec_flat = results["incremental-flat"].records
+    rec_glob = results["global"].records
+    assert rec_inc.keys() == rec_flat.keys() == rec_glob.keys()
+    for name in rec_inc:
+        # Cache + pool vs flat baseline: exact.
+        assert rec_inc[name].write_times == rec_flat[name].write_times, name
+        # vs the eager-free global oracle: float-chunking tolerance.
+        assert rec_inc[name].write_times == pytest.approx(
+            rec_glob[name].write_times, rel=1e-9), name
+    assert results["incremental"].makespan == results["incremental-flat"].makespan
+    assert results["incremental"].makespan == pytest.approx(
+        results["global"].makespan, rel=1e-9)
+
+
+def test_scenario_equivalence_is_stable_across_allocation_layouts():
+    """Component-registry identity decisions iterate sets of links (id
+    ordering), so layout-dependent bugs only show up under shifted heap
+    addresses.  Re-run the read-write-mix regime comparison under a few
+    deliberately shifted allocation patterns (this sweep caught the
+    dead-component wake-loss bug the targeted test above pins down)."""
+    import random
+    engine = ExperimentEngine()
+    rng = random.Random(1234)
+    for _ in range(5):
+        ballast = [object() for _ in range(rng.randrange(10000))]  # noqa: F841
+        results = {}
+        for allocator in ("incremental", "incremental-flat"):
+            spec = build_scenario("read-write-mix", napps=18, nservers=6,
+                                  phases=4, allocator=allocator)[0]
+            results[allocator] = engine.run(spec)
+        rec_inc = results["incremental"].records
+        rec_flat = results["incremental-flat"].records
+        for name in rec_inc:
+            assert rec_inc[name].write_times == rec_flat[name].write_times, name

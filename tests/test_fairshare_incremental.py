@@ -270,9 +270,9 @@ def test_pause_at_exact_completion_horizon_completes(incremental):
     assert flow not in net.active_flows
 
 
-def test_advance_on_incremental_network_respects_per_flow_sync():
-    """Regression: a direct _advance() after per-flow syncs must not
-    double-integrate progress from the stale shared checkpoint."""
+def test_sync_respects_per_flow_sync_points():
+    """Regression: a whole-network sync() after per-flow syncs must not
+    double-integrate progress from a stale shared checkpoint."""
     sim = Simulator()
     net = FlowNetwork(sim)  # incremental
 
@@ -280,7 +280,7 @@ def test_advance_on_incremental_network_respects_per_flow_sync():
         yield sim.timeout(40.0)
         flow = net.start_flow(1000.0, [FluidLink(100.0)])
         yield sim.timeout(5.0)   # 500 B delivered
-        net._advance()
+        net.sync()
         assert flow.remaining == pytest.approx(500.0)
         net.cancel_flow(flow)
 

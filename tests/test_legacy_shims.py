@@ -1,10 +1,12 @@
 """The PR-1 legacy shims must emit real DeprecationWarnings naming the
-declarative replacement."""
+declarative replacement — and shims whose deprecation period has lapsed
+must be gone for good."""
 
 import warnings
 
 import pytest
 
+from repro.core.strategies import Action, Decision, Strategy
 from repro.experiments import (
     run_delta_graph, run_many, run_pair, size_split_sweep, standalone_time,
     strategy_comparison,
@@ -59,6 +61,18 @@ def test_sweep_helpers_warn():
                       match="ExperimentEngine.strategy_comparison"):
         strategy_comparison(tiny_platform(), tiny_cfg("a"), tiny_cfg("b"),
                             dt=0.0, strategies=(None,))
+
+
+def test_supports_views_escape_hatch_removed():
+    """The PR-4 ``supports_views = False`` list-materialization shim
+    promised removal this release: declaring it is now a TypeError at
+    class definition (no silent behavior change, no warning machinery)."""
+    with pytest.raises(TypeError, match="has been removed"):
+        class Straggler(Strategy):
+            supports_views = False
+
+            def decide(self, now, active, waiting, incoming):
+                return Decision(Action.GO)
 
 
 def test_shims_still_produce_results():

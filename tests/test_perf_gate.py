@@ -39,6 +39,26 @@ def arbiter_record(speedups_by_scale, phases=3, wall=0.01):
     }
 
 
+def churn_record(speedups_by_scale, stable=100):
+    return {
+        "config": {"phases": 3, "stable_per_server": stable,
+                   "apps_per_server": 125, "seed": 1,
+                   "full_scale": True,
+                   "scales": sorted(speedups_by_scale, key=float)},
+        "scales": {
+            scale: {"baseline_wall_seconds": 1.0 * speedup,
+                    "cached_wall_seconds": 1.0, "speedup": speedup}
+            for scale, speedup in speedups_by_scale.items()
+        },
+        "identical_completion_times": True,
+    }
+
+
+def with_churn(record, churn):
+    record["churn"] = churn
+    return record
+
+
 def test_kernel_gate_fails_on_speedup_collapse():
     ok, msg = check_perf_regression(kernel_record(80.0), kernel_record(200.0),
                                     "kernel")
@@ -61,6 +81,36 @@ def test_kernel_gate_skips_on_differing_config():
     ok, msg = check_perf_regression(kernel_record(20.0, napps=60),
                                     kernel_record(200.0, napps=200), "kernel")
     assert ok and "skipping gate" in msg
+
+
+def test_kernel_gate_covers_churn_scales():
+    committed = with_churn(kernel_record(200.0),
+                           churn_record({"500": 5.0, "1000": 4.0}))
+    # Reduced smoke config: only the 500-app churn scale was run; the gate
+    # compares at the largest common scale.
+    fresh_ok = with_churn(kernel_record(180.0), churn_record({"500": 4.5}))
+    ok, _ = check_perf_regression(fresh_ok, committed, "kernel")
+    assert ok
+    fresh_bad = with_churn(kernel_record(180.0), churn_record({"500": 1.5}))
+    ok, msg = check_perf_regression(fresh_bad, committed, "kernel")
+    assert not ok and "kernel-churn@500" in msg
+
+
+def test_kernel_gate_skips_churn_on_differing_workload():
+    """An incomparable churn workload must not swallow the base gate."""
+    committed = with_churn(kernel_record(200.0), churn_record({"500": 5.0}))
+    fresh = with_churn(kernel_record(200.0),
+                       churn_record({"500": 1.0}, stable=10))
+    ok, msg = check_perf_regression(fresh, committed, "kernel")
+    assert ok and "kernel:" in msg  # fell through to the base comparison
+    # ... and a base-speedup collapse still fails despite the churn skip.
+    collapsed = with_churn(kernel_record(40.0),
+                           churn_record({"500": 9.0}, stable=10))
+    ok, msg = check_perf_regression(collapsed, committed, "kernel")
+    assert not ok and "collapse" in msg
+    # Records without a churn section still gate on the base speedup.
+    ok, _ = check_perf_regression(kernel_record(150.0), committed, "kernel")
+    assert ok
 
 
 def test_arbiter_gate_uses_largest_common_scale():

@@ -107,8 +107,6 @@ def test_multi_resource_max_min():
     a = net.start_flow(1e9, [l1])
     b = net.start_flow(1e9, [l1, l2])
     c = net.start_flow(1e9, [l2])
-    net._advance()
-    net._compute_rates()
     assert b.rate == pytest.approx(15.0)
     assert c.rate == pytest.approx(15.0)
     assert a.rate == pytest.approx(85.0)
@@ -210,8 +208,6 @@ def test_link_rate_reports_aggregate():
     link = FluidLink(100.0)
     net.start_flow(1e6, [link])
     net.start_flow(1e6, [link])
-    net._advance()
-    net._compute_rates()
     assert net.link_rate(link) == pytest.approx(100.0)
 
 
@@ -244,8 +240,6 @@ def test_rates_conserve_capacity_and_respect_caps(specs, capacity):
     net = FlowNetwork(sim)
     link = FluidLink(capacity)
     flows = [net.start_flow(s, [link], weight=w, cap=c) for s, w, c in specs]
-    net._advance()
-    net._compute_rates()
     total = sum(f.rate for f in flows)
     assert total <= capacity * (1 + 1e-9)
     for f in flows:
@@ -263,8 +257,6 @@ def test_allocation_is_max_min_optimal(specs, capacity):
     net = FlowNetwork(sim)
     link = FluidLink(capacity)
     flows = [net.start_flow(s, [link], weight=w, cap=c) for s, w, c in specs]
-    net._advance()
-    net._compute_rates()
     total = sum(f.rate for f in flows)
     saturated = total >= capacity * (1 - 1e-9)
     all_capped = all(

@@ -1,0 +1,74 @@
+"""End-to-end replay of a real (committed) ANL-Intrepid-format SWF file.
+
+The ``swf-replay`` scenario synthesizes its traces; this suite closes the
+ROADMAP gap by feeding an actual ``.swf`` *file* through ``parse_swf`` ->
+``replay_spec`` -> ``ExperimentEngine`` at the ~10^2-job scale, checking
+the parse round-trip and that replays are deterministic per seed (and
+actually differ across I/O-model seeds).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentEngine
+from repro.experiments.replay import plan_replay, replay_spec
+from repro.experiments.scenarios import many_writers_platform
+from repro.traces import JobIOModel
+from repro.traces.swf import format_swf, parse_swf
+
+FIXTURE = pathlib.Path(__file__).parent / "data" / "ANL-Intrepid-tiny.swf"
+WINDOW = (0.0, 6 * 3600.0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return parse_swf(FIXTURE.read_text())
+
+
+def test_fixture_parses_with_header_and_jobs(trace):
+    assert any("Intrepid" in line for line in trace.header)
+    jobs = trace.valid_jobs()
+    assert len(jobs) >= 100, "fixture should hold ~10^2 usable jobs"
+    for job in jobs:
+        assert job.allocated_procs > 0
+        assert job.run_time > 0
+    # 18-field SWF lines survive a write/parse round trip.
+    again = parse_swf(format_swf(trace))
+    assert len(again) == len(trace)
+    assert [j.job_id for j in again] == [j.job_id for j in trace]
+
+
+def test_window_holds_target_job_count(trace):
+    plan = plan_replay(trace, WINDOW, core_scale=512,
+                       phases_per_job=2, max_jobs=100)
+    assert 60 <= len(plan.configs) <= 100
+    assert all(cfg.nprocs >= 1 for cfg in plan.configs)
+
+
+def _run(trace, io_seed):
+    spec = replay_spec(
+        many_writers_platform(8), trace, WINDOW,
+        core_scale=512, bytes_per_process=2_000_000, phases_per_job=2,
+        max_jobs=100, measure_alone=False,
+        io_model=JobIOModel(median_bytes_per_process=2_000_000.0),
+        io_seed=io_seed, name="swf-file-replay",
+    )
+    result = ExperimentEngine().run(spec)
+    return {name: rec.write_times for name, rec in result.records.items()}
+
+
+def test_replay_is_deterministic_per_seed(trace):
+    first = _run(trace, io_seed=7)
+    second = _run(trace, io_seed=7)
+    assert first.keys() == second.keys() and len(first) >= 60
+    for name in first:
+        assert first[name] == second[name], name
+
+
+def test_io_model_seed_changes_sampled_workloads(trace):
+    a = _run(trace, io_seed=7)
+    b = _run(trace, io_seed=8)
+    assert a.keys() == b.keys()
+    assert any(a[name] != b[name] for name in a), (
+        "different io_seed must sample different per-job workloads")
