@@ -39,13 +39,15 @@ def _advisory_wall(record: dict, kind: str) -> float:
             best = max(per_shardcount, key=float)
             total += float(per_shardcount[best]["perf"]["coord_seconds"])
         return total
+    if kind == "service":
+        return sum(float(s["wall_seconds"]) for s in scales.values())
     return sum(float(s["batched"]["coord_seconds"]) for s in scales.values())
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kind", required=True,
-                        choices=("kernel", "arbiter", "shard"))
+                        choices=("kernel", "arbiter", "shard", "service"))
     parser.add_argument("--fresh", required=True, type=pathlib.Path)
     parser.add_argument("--committed", required=True, type=pathlib.Path)
     parser.add_argument("--factor", type=float, default=2.0)

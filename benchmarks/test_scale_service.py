@@ -1,0 +1,96 @@
+"""Scale benchmark: the coordination daemon under concurrent clients.
+
+Records one in-process ``service-many-writers`` run, then replays its
+coordination trace over the wire through 1/4/8 concurrent
+:class:`~repro.service.client.ServiceClient` connections against a
+self-hosted :class:`~repro.service.server.CoordinationService`, measuring
+per client count:
+
+* sustained **decisions/sec** over the wire vs the in-process rate (the
+  ``speedup`` the CI gate tracks — both rates measured on this host, so
+  the ratio is hardware-independent),
+* **p50/p99 round latency** (send -> ack, including sequencer parking),
+* **equivalence** — the daemon's decision log must be *bit-identical*
+  (full canonical-JSON string equality) to the in-process reference at
+  every scale.
+
+Persists a machine-readable record to
+``benchmarks/results/BENCH_service.json`` (gated against regressions by
+``benchmarks/check_perf_regression.py --kind service`` in CI).
+
+Reduced configurations for CI smoke runs come from the environment:
+``SCALE_SERVICE_CLIENTS`` (comma-separated client counts, default
+"1,4,8") and ``SCALE_SERVICE_APPS`` (default 32).
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+
+from repro.experiments import build_scenario
+from repro.service.loadgen import run_service_benchmark
+from repro.service.protocol import decisions_to_json
+from repro.service.trace import record_trace
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+CLIENTS = tuple(int(s) for s in
+                os.environ.get("SCALE_SERVICE_CLIENTS", "1,4,8").split(","))
+NAPPS = int(os.environ.get("SCALE_SERVICE_APPS", "32"))
+NSERVERS = 8
+PHASES = 3
+STRATEGY = "fcfs"
+SEED = 20140519
+
+
+def test_scale_service_throughput_and_equivalence(report):
+    """Over-the-wire replay: bit-identical logs, sustained decision rate."""
+    spec, = build_scenario("service-many-writers", napps=NAPPS,
+                           nservers=NSERVERS, phases=PHASES, seed=SEED,
+                           strategy=STRATEGY)
+    trace, result = record_trace(spec)
+    reference = result.decisions
+    reference_json = decisions_to_json(reference)
+    inproc_wall = float(result.perf.get("wall_seconds", 0.0))
+    assert len(reference) > 0 and len(trace) > 0
+
+    scales = {}
+    lines = [f"scale service benchmark ({NAPPS} apps x {PHASES} phases, "
+             f"{STRATEGY} strategy, {len(trace)} exchanges, "
+             f"{len(reference)} decisions)"]
+    for nclients in CLIENTS:
+        stats, service = asyncio.run(run_service_benchmark(
+            spec, nclients,
+            trace_and_reference=(trace, reference, inproc_wall)))
+        # Digest equivalence over the wire, plus the full-string check.
+        assert stats.equivalent, (
+            f"decision digest diverged at {nclients} clients")
+        assert decisions_to_json(service.decision_log) == reference_json, (
+            f"decision logs diverged at {nclients} clients")
+        assert stats.exchanges == len(trace)
+        assert stats.p99_latency_s >= stats.p50_latency_s >= 0.0
+        assert stats.service_rate > 0.0
+        scales[str(nclients)] = {**stats.as_record(),
+                                 "identical_decision_log": True}
+        lines.append(
+            f"  {nclients:3d} clients: {stats.service_rate:9.0f} dec/s "
+            f"over the wire ({stats.speedup:6.3f}x of in-process), "
+            f"p50 {stats.p50_latency_s * 1e3:7.3f} ms, "
+            f"p99 {stats.p99_latency_s * 1e3:7.3f} ms")
+
+    record = {
+        "benchmark": "scale_service",
+        "config": {"napps": NAPPS, "nservers": NSERVERS, "phases": PHASES,
+                   "strategy": STRATEGY, "seed": SEED,
+                   "scales": list(CLIENTS),
+                   "full_scale": max(CLIENTS) >= 8},
+        "scales": scales,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_service.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    lines.append("  gate: speedup collapse vs committed record "
+                 "(check_perf_regression --kind service)")
+    report("BENCH_service", "\n".join(lines))

@@ -244,6 +244,14 @@ class DynamicStrategy(Strategy):
         each application's standalone drain rate (``total_bytes/t_alone``,
         derived from exchanged info only) as its cap.  Without it, the
         estimator falls back to pessimistic pure-proportional stretching.
+    price_preempted:
+        Also charge the preempted queue into every option's cost.  The
+        arbiter resumes preempted applications one at a time, ahead of the
+        FIFO waiters (and an INTERRUPT's victims queue *behind* already-
+        preempted apps), so a deep preemption stack is real deferred work
+        the INTERRUPT option would push further out.  Off by default:
+        decisions are bit-identical to the historical cost model whenever
+        the flag is off or the preempted queue is empty.
     """
 
     name = "dynamic"
@@ -252,16 +260,19 @@ class DynamicStrategy(Strategy):
                  consider_interference: bool = False,
                  consider_delay: bool = False,
                  interference_estimator=None,
-                 capacity: Optional[float] = None):
+                 capacity: Optional[float] = None,
+                 price_preempted: bool = False):
         self.metric = make_metric(metric) if metric is not None else CpuSecondsWasted()
         self.consider_interference = consider_interference
         self.consider_delay = consider_delay
         self.interference_estimator = interference_estimator
         self.capacity = capacity
+        self.price_preempted = price_preempted
 
-    def decide(self, now, active, waiting, incoming) -> Decision:
+    def decide(self, now, active, waiting, incoming,
+               preempted: Sequence[AccessDescriptor] = ()) -> Decision:
         return self._decide_one(now, active, waiting, incoming,
-                                _capture_totals(waiting))
+                                _capture_totals(waiting), preempted)
 
     def decide_batch(self, now, active, waiting, incomings, preempted=()):
         # Batch-aware: the waiting-queue aggregates are shared across the
@@ -280,16 +291,19 @@ class DynamicStrategy(Strategy):
         # ever appends to the waiting queue.
         totals = _capture_totals(waiting)
         for incoming in incomings:
-            yield self._decide_one(now, active, waiting, incoming, totals)
+            yield self._decide_one(now, active, waiting, incoming, totals,
+                                   preempted)
 
     def _decide_one(self, now, active, waiting, incoming,
-                    totals: WaitingTotals) -> Decision:
+                    totals: WaitingTotals,
+                    preempted: Sequence[AccessDescriptor] = ()) -> Decision:
         if not active and not waiting:
             return Decision(Action.GO)
         waiting_part = self.metric.alone_cost(totals)
         if waiting_part is None:
             # Non-decomposable custom metric: full prediction dicts.
-            return self._decide_full(now, active, waiting, incoming)
+            return self._decide_full(now, active, waiting, incoming,
+                                     preempted)
         combine = self.metric.combine
         actives = list(active)
         descriptors = {d.app: d for d in actives}
@@ -311,6 +325,10 @@ class DynamicStrategy(Strategy):
                      for d in actives}
         int_times[incoming.app] = incoming.t_alone
 
+        fcfs_pre, pre_stack = self._price_preempted(
+            now, actives, incoming, preempted, descriptors,
+            fcfs_times, int_times)
+
         costs = {
             "fcfs": combine(self.metric.cost(fcfs_times, descriptors),
                             waiting_part),
@@ -321,6 +339,9 @@ class DynamicStrategy(Strategy):
         if self.consider_interference:
             share_times = self._interference_prediction(now, actives,
                                                         incoming)
+            # The preempted stack stays queued whether or not the
+            # incoming shares: price it exactly as under FCFS.
+            share_times.update(fcfs_pre)
             costs["interfere"] = combine(
                 self.metric.cost(share_times, descriptors), waiting_part)
 
@@ -331,6 +352,7 @@ class DynamicStrategy(Strategy):
                 delta = frac * horizon
                 delay_times = self._delay_prediction(now, actives, incoming,
                                                      delta)
+                delay_times.update(fcfs_pre)
                 key = f"delay@{frac:.2f}"
                 costs[key] = combine(
                     self.metric.cost(delay_times, descriptors), waiting_part)
@@ -339,7 +361,45 @@ class DynamicStrategy(Strategy):
 
         return self._verdict(costs, best_delay)
 
-    def _decide_full(self, now, active, waiting, incoming) -> Decision:
+    def _price_preempted(self, now, actives, incoming, preempted,
+                         descriptors, fcfs_times, int_times):
+        """Charge the preempted queue into the FCFS/interrupt predictions.
+
+        Mirrors the arbiter's grant order: preempted applications resume
+        one at a time (queue order) once the actives drain, ahead of FIFO
+        waiters — and an INTERRUPT's victims join *behind* the existing
+        stack, so under that option the stack resumes right after the
+        incoming while the victims also eat the whole stack's remainder.
+        Mutates ``fcfs_times``/``int_times`` in place and returns
+        ``(fcfs_pre, pre_stack)`` — the FCFS-option times of the preempted
+        apps (reused by interfere/delay pricing) and the stack's total
+        remaining seconds.  No-ops (empty dict, 0.0) unless
+        ``price_preempted`` is set and the queue is non-empty, keeping the
+        historical decisions bit-identical.
+        """
+        if not self.price_preempted:
+            return {}, 0.0
+        pre = list(preempted)
+        if not pre:
+            return {}, 0.0
+        backlog_active = sum(d.remaining_t for d in actives)
+        fcfs_pre: Dict[str, float] = {}
+        cum = 0.0
+        for d in pre:
+            descriptors[d.app] = d
+            cum += d.remaining_t
+            fcfs_pre[d.app] = self._elapsed(d, now) + backlog_active + cum
+            int_times[d.app] = (self._elapsed(d, now) + incoming.t_alone
+                                + cum)
+        pre_stack = cum
+        fcfs_times.update(fcfs_pre)
+        fcfs_times[incoming.app] += pre_stack
+        for d in actives:
+            int_times[d.app] += pre_stack
+        return fcfs_pre, pre_stack
+
+    def _decide_full(self, now, active, waiting, incoming,
+                     preempted: Sequence[AccessDescriptor] = ()) -> Decision:
         """The historical whole-population cost evaluation (O(n) per
         inform): kept for metrics that cannot decompose a waiting queue's
         contribution out of their cost."""
@@ -365,6 +425,10 @@ class DynamicStrategy(Strategy):
             int_times[d.app] = d.t_alone
         int_times[incoming.app] = incoming.t_alone
 
+        fcfs_pre, _ = self._price_preempted(
+            now, list(active), incoming, preempted, descriptors,
+            fcfs_times, int_times)
+
         costs = {
             "fcfs": self.metric.cost(fcfs_times, descriptors),
             "interrupt": self.metric.cost(int_times, descriptors),
@@ -374,6 +438,7 @@ class DynamicStrategy(Strategy):
             share_times = self._interference_prediction(now, active, incoming)
             for d in waiting:
                 share_times[d.app] = d.t_alone
+            share_times.update(fcfs_pre)
             costs["interfere"] = self.metric.cost(share_times, descriptors)
 
         best_delay = 0.0
@@ -385,6 +450,7 @@ class DynamicStrategy(Strategy):
                                                      delta)
                 for d in waiting:
                     delay_times[d.app] = d.t_alone
+                delay_times.update(fcfs_pre)
                 key = f"delay@{frac:.2f}"
                 costs[key] = self.metric.cost(delay_times, descriptors)
                 if costs[key] == min(costs.values()):

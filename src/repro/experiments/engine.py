@@ -109,11 +109,21 @@ class BaselineCache:
 # Execution primitives
 # ---------------------------------------------------------------------------
 
-def execute_spec(spec: ExperimentSpec) -> "ExperimentResult":
+def execute_spec(spec: ExperimentSpec,
+                 coordinator_wrap: Optional[Callable[[Any], Any]] = None
+                 ) -> "ExperimentResult":
     """Run one spec on a fresh platform (module-level: picklable for pools).
 
     Baselines are *not* attached here — the engine owns those, so worker
     processes never touch shared cache state.
+
+    ``coordinator_wrap`` is an interception seam for the service layer:
+    when given, the runtime's coordinator is replaced by
+    ``coordinator_wrap(coordinator)`` *before any session is created*, so
+    a proxy (e.g. :class:`repro.service.trace.RecordingRouter`) observes
+    every Inform/Release/Complete exchange of the run.  The wrapper must
+    present the coordinator's protocol surface; sessions capture it at
+    creation time.
     """
     with WallTimer() as timer:
         platform = Platform(spec.platform)
@@ -121,6 +131,8 @@ def execute_spec(spec: ExperimentSpec) -> "ExperimentResult":
         if spec.strategy is not None:
             runtime = CalciomRuntime(platform, strategy=spec.strategy,
                                      **dict(spec.arbiter))
+            if coordinator_wrap is not None:
+                runtime.coordinator = coordinator_wrap(runtime.coordinator)
         apps: List[IORApp] = []
         for workload in spec.workloads:
             cfg = workload.to_ior()

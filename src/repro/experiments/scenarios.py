@@ -291,6 +291,40 @@ def many_writers(napps: int = 200, nservers: int = 32,
 
 
 @register_scenario(
+    "service-many-writers",
+    "Coordination-as-a-service load: the many-writers mix served over the "
+    "wire — record the in-process coordination trace, replay it through N "
+    "concurrent daemon clients (meta: napps, nclients).")
+def service_many_writers(napps: int = 24, nservers: int = 8,
+                         strategy: Optional[Any] = "fcfs", phases: int = 2,
+                         nclients: int = 4,
+                         bytes_per_process: int = 4_000_000,
+                         spread: float = 60.0, period: float = 30.0,
+                         seed: int = 7,
+                         arbiter: Optional[Dict[str, Any]] = None
+                         ) -> List[ExperimentSpec]:
+    """The ``many-writers`` workload shaped for the coordination daemon
+    (:mod:`repro.service`): same generator, same seed discipline, with the
+    intended client fan-out riding in ``meta["service"]``.  A coordinated
+    strategy is mandatory — an uncoordinated mix has no decisions to
+    serve.  The default strategy avoids DELAY verdicts, the one action
+    whose hold timers a recorded trace cannot replay bit-exactly."""
+    if strategy is None:
+        raise ValueError("service-many-writers needs a coordination "
+                         "strategy (got None)")
+    if nclients < 1:
+        raise ValueError(f"nclients must be >= 1, got {nclients}")
+    (spec,) = many_writers(
+        napps=napps, nservers=nservers, strategy=strategy, phases=phases,
+        bytes_per_process=bytes_per_process, spread=spread, period=period,
+        seed=seed, measure_alone=False, arbiter=arbiter)
+    meta = dict(spec.meta)
+    meta.update({"scenario": "service-many-writers",
+                 "service": {"nclients": int(nclients)}})
+    return [spec.with_(name="service-many-writers", meta=meta)]
+
+
+@register_scenario(
     "swf-replay",
     "Trace-driven scale scenario: a synthetic Intrepid-like SWF window "
     "replayed as 50-500 concurrent periodic writers under any strategy "

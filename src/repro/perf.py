@@ -24,6 +24,8 @@ counter                    meaning
 ``fill_cache_misses``      refills with nothing reusable (first fill of a
                            component, or the first cached step invalidated)
 ``fill_steps_reused``      cached bottleneck steps replayed across refills
+``fill_slot_restores``     refills served from a non-most-recent cache slot
+                           (a capacity wiggle returned to a recorded vector)
 ``wake_stale_pops``        invalidated heap entries lazily popped (repriced,
                            finished, cancelled, or migrated flows; dead
                            component index entries)
@@ -41,6 +43,17 @@ counter                    meaning
 ``coord_seconds``          host wall-clock spent in the arbiter decision loop
 ``wall_seconds``           host wall-clock of the run (attached by the engine)
 =========================  ====================================================
+
+The coordination service daemon (:mod:`repro.service`) bumps its own
+family into the same bag: ``service_connections`` / ``service_sessions``
+(admitted connections and the app sessions they carry),
+``service_rejections`` (admission refusals), ``service_frames`` /
+``service_exchanges_applied`` (wire frames read and exchanges applied to
+the arbiter), ``service_grants_pushed`` (unsolicited authorization
+pushes), ``service_reordered_frames`` / ``service_backpressure_stalls``
+(replay-sequencer buffering and paused reads),
+``service_crash_withdrawals`` / ``service_abnormal_disconnects`` (crash
+semantics), ``service_protocol_errors`` and ``service_drains``.
 
 Under sharded coordination (see :mod:`repro.core.sharding`) every
 ``coord_*`` counter above stays the machine-wide total, and each arbiter
@@ -221,20 +234,23 @@ def check_perf_regression(fresh: Mapping[str, Any],
                           "configuration to gate)")
         fresh_speedup = _kernel_speedup(fresh)
         committed_speedup = _kernel_speedup(committed)
-    elif kind == "arbiter":
+    elif kind in ("arbiter", "service"):
+        # Same record shape: per-scale {"speedup": ...} under "scales".
+        # For the service the scale is the client count and the speedup is
+        # over-the-wire decision throughput vs the in-process run.
         common = sorted(set(fresh.get("scales", {}))
                         & set(committed.get("scales", {})), key=float)
         if not common:
-            return True, "arbiter records share no scale; skipping gate"
+            return True, f"{kind} records share no scale; skipping gate"
         ignore = ("scales", "full_scale")
         if (_without(fresh.get("config"), ignore)
                 != _without(committed.get("config"), ignore)):
-            return True, ("arbiter: per-scale workload parameters differ; "
+            return True, (f"{kind}: per-scale workload parameters differ; "
                           "speedups are not comparable — skipping gate")
         scale = common[-1]
         fresh_speedup = _arbiter_speedup(fresh, scale)
         committed_speedup = _arbiter_speedup(committed, scale)
-        kind = f"arbiter@{scale}"
+        kind = f"{kind}@{scale}"
     elif kind == "shard":
         common = sorted(set(fresh.get("scales", {}))
                         & set(committed.get("scales", {})), key=float)

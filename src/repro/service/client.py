@@ -1,0 +1,232 @@
+"""Client library: the session surface of CALCioM, over the wire.
+
+:class:`ServiceClient` owns one connection to a
+:class:`~repro.service.server.CoordinationService` and multiplexes any
+number of :class:`RemoteSession`\\ s over it (one per application — the
+paper's "coordinator process, typically rank 0").  A remote session
+mirrors :class:`~repro.core.session.CalciomSession`'s protocol verbs:
+
+=====================  ====================================================
+in-process             over the wire
+=====================  ====================================================
+``inform()``           :meth:`RemoteSession.inform` — ships the descriptor,
+                       returns the authorization verdict
+``release()``          :meth:`RemoteSession.release`
+``complete()``         :meth:`RemoteSession.complete`
+``withdraw`` (arbiter)  :meth:`RemoteSession.withdraw`
+``wait()``             :meth:`RemoteSession.wait_grant` — blocks on the
+                       pushed ``grant`` frame
+=====================  ====================================================
+
+Responses are matched FIFO per request (the daemon acks in application
+order, and a connection's requests apply in the order they were sent);
+pushed ``grant`` frames are routed to the owning session's grant queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.metrics import AccessDescriptor
+from .protocol import (
+    ProtocolError, descriptor_to_dict, read_message, write_message,
+)
+
+__all__ = ["ServiceClient", "RemoteSession", "AdmissionRejected"]
+
+
+class AdmissionRejected(Exception):
+    """The daemon refused the hello (at-capacity, draining, mismatch)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class RemoteSession:
+    """One application's coordination session, served remotely."""
+
+    def __init__(self, client: "ServiceClient", app: str):
+        self.client = client
+        self.app = app
+        self.grants: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+
+    # -- the protocol verbs ------------------------------------------------
+    async def inform(self, descriptor: Union[AccessDescriptor, Dict[str, Any]],
+                     seq: Optional[int] = None,
+                     t: Optional[float] = None) -> bool:
+        """Ship (fresh or refreshed) access knowledge; True = authorized."""
+        if isinstance(descriptor, AccessDescriptor):
+            descriptor = descriptor_to_dict(descriptor)
+        if descriptor.get("app") != self.app:
+            raise ProtocolError(f"descriptor for {descriptor.get('app')!r} "
+                                f"sent through session {self.app!r}")
+        ack = await self.client.request(
+            {"type": "inform", "descriptor": descriptor}, seq=seq, t=t)
+        return bool(ack.get("authorized"))
+
+    async def release(self, remaining: Optional[float] = None,
+                      seq: Optional[int] = None,
+                      t: Optional[float] = None) -> None:
+        await self.client.request(
+            {"type": "release", "app": self.app, "remaining": remaining},
+            seq=seq, t=t)
+
+    async def complete(self, seq: Optional[int] = None,
+                       t: Optional[float] = None) -> None:
+        await self.client.request({"type": "complete", "app": self.app},
+                                  seq=seq, t=t)
+
+    async def withdraw(self, seq: Optional[int] = None,
+                       t: Optional[float] = None) -> None:
+        await self.client.request({"type": "withdraw", "app": self.app},
+                                  seq=seq, t=t)
+
+    async def wait_grant(self, timeout: Optional[float] = None
+                         ) -> Dict[str, Any]:
+        """Block until the daemon pushes this app's authorization grant."""
+        return await asyncio.wait_for(self.grants.get(), timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteSession {self.app!r} via {self.client!r}>"
+
+
+class ServiceClient:
+    """One framed connection to the coordination daemon.
+
+    Usage::
+
+        client = await ServiceClient.connect(host, port,
+                                             apps=["appA", "appB"],
+                                             mode="live")
+        session = client.session("appA")
+        authorized = await session.inform(descriptor)
+        ...
+        await client.close()          # says bye, waits for the ack
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, apps: List[str], mode: str):
+        self._reader = reader
+        self._writer = writer
+        self.apps = list(apps)
+        self.mode = mode
+        self._sessions = {app: RemoteSession(self, app) for app in apps}
+        #: FIFO of futures awaiting acks (requests apply in send order).
+        self._acks: "asyncio.Queue[asyncio.Future]" = asyncio.Queue()
+        self._bye_ack: Optional[asyncio.Future] = None
+        self._pump: Optional[asyncio.Task] = None
+        self._broken: Optional[Exception] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    @classmethod
+    async def connect(cls, host: str, port: int, apps: List[str],
+                      mode: str = "live",
+                      spec_sha: Optional[str] = None) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        await write_message(writer, {"type": "hello", "apps": list(apps),
+                                     "mode": mode, "spec_sha": spec_sha})
+        answer = await read_message(reader)
+        if answer is None:
+            raise ConnectionError("daemon closed during handshake")
+        if answer.get("type") == "rejected":
+            writer.close()
+            raise AdmissionRejected(answer.get("reason", "unknown"))
+        if answer.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {answer!r}")
+        client = cls(reader, writer, apps, mode)
+        client._pump = asyncio.ensure_future(client._pump_loop())
+        return client
+
+    async def close(self) -> None:
+        """Clean shutdown: ``bye``, wait for the ack, drop the link."""
+        if self._broken is None and self._bye_ack is None:
+            loop = asyncio.get_event_loop()
+            self._bye_ack = loop.create_future()
+            try:
+                await write_message(self._writer, {"type": "bye"})
+                await asyncio.wait_for(self._bye_ack, 5.0)
+            except (ConnectionError, asyncio.TimeoutError):
+                pass
+        await self.abort()
+
+    async def abort(self) -> None:
+        """Drop the connection without the bye handshake (crash client)."""
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._pump = None
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    # -- sessions ----------------------------------------------------------
+    def session(self, app: str) -> RemoteSession:
+        return self._sessions[app]
+
+    # -- request plumbing --------------------------------------------------
+    async def request(self, message: Dict[str, Any],
+                      seq: Optional[int] = None,
+                      t: Optional[float] = None) -> Dict[str, Any]:
+        """Send one frame and await its ack (FIFO-matched)."""
+        if self._broken is not None:
+            raise ConnectionError(f"connection is broken: {self._broken}")
+        if seq is not None:
+            message["seq"] = int(seq)
+        if t is not None:
+            message["t"] = float(t)
+        loop = asyncio.get_event_loop()
+        future = loop.create_future()
+        await self._acks.put(future)
+        await write_message(self._writer, message)
+        return await future
+
+    async def decision_digest(self) -> Dict[str, Any]:
+        """The daemon's current decision-log digest (equivalence checks)."""
+        return await self.request({"type": "decision-digest"})
+
+    async def _pump_loop(self) -> None:
+        """Route inbound frames: grants to sessions, acks FIFO, errors up."""
+        try:
+            while True:
+                frame = await read_message(self._reader)
+                if frame is None:
+                    raise ConnectionError("daemon closed the connection")
+                ftype = frame.get("type")
+                if ftype == "grant":
+                    session = self._sessions.get(frame.get("app"))
+                    if session is not None:
+                        session.grants.put_nowait(frame)
+                elif ftype == "bye-ack":
+                    if self._bye_ack is not None \
+                            and not self._bye_ack.done():
+                        self._bye_ack.set_result(frame)
+                    return
+                elif ftype == "error":
+                    raise ProtocolError(frame.get("reason", "unknown"))
+                else:
+                    future = self._acks.get_nowait()
+                    if not future.done():
+                        future.set_result(frame)
+        except asyncio.CancelledError:  # pragma: no cover - teardown
+            raise
+        except Exception as exc:
+            self._broken = exc
+            while not self._acks.empty():
+                future = self._acks.get_nowait()
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError(f"connection lost: {exc}"))
+            if self._bye_ack is not None and not self._bye_ack.done():
+                self._bye_ack.set_exception(
+                    ConnectionError(f"connection lost: {exc}"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ServiceClient apps={len(self.apps)} mode={self.mode!r} "
+                f"broken={self._broken is not None}>")

@@ -1,0 +1,189 @@
+"""Wire protocol: length-prefixed JSON frames and coordination schemas.
+
+Framing
+-------
+Every message is one JSON object encoded as UTF-8, prefixed by its byte
+length as a 4-byte big-endian unsigned integer.  Length-prefixed framing
+(rather than newline-delimited) keeps the payload format unconstrained
+and makes partial-read handling explicit; JSON (rather than a binary
+encoding) keeps the protocol inspectable and dependency-free.  Frames
+are capped at :data:`MAX_FRAME` to bound a malicious or broken peer.
+
+Message schemas (client → server)
+---------------------------------
+``hello``     ``{"type": "hello", "apps": [...], "mode": "replay"|"live",
+              "spec_sha": str|None}`` — first frame on a connection;
+              declares the coordination sessions the connection will
+              multiplex.  Answered by ``welcome`` or ``rejected``.
+``inform``    ``{"type": "inform", "seq": int, "t": float,
+              "descriptor": {...}}`` — one Inform exchange; answered by
+              ``inform-ack`` carrying the authorization verdict.
+``release``   ``{"type": "release", "seq": int, "t": float, "app": str,
+              "remaining": float|null}`` — end of a guarded step.
+``complete``  ``{"type": "complete", "seq": int, "t": float,
+              "app": str}`` — the access is finished.
+``withdraw``  like ``complete`` (job teardown semantics).
+``bye``       clean end of the connection.
+
+Server → client
+---------------
+Acks echo the request ``seq``; ``grant`` frames are *pushed* when a
+previously-queued app's authorization fires (the wire analogue of
+:meth:`~repro.core.session.CalciomSession.wait` returning).
+
+Float fidelity
+--------------
+Python's :mod:`json` serializes floats via ``repr``, which round-trips
+every finite ``float`` exactly — the property that lets a replayed trace
+reproduce the in-process decision log *bit for bit*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.arbiter import DecisionRecord
+from ..core.metrics import AccessDescriptor
+
+__all__ = [
+    "MAX_FRAME", "ProtocolError",
+    "encode_message", "decode_message", "read_message", "write_message",
+    "descriptor_to_dict", "descriptor_from_dict",
+    "decision_to_dict", "decisions_to_json",
+]
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on one frame's payload, bytes (a descriptor is ~200 B).
+MAX_FRAME = 1 << 20
+
+
+class ProtocolError(Exception):
+    """A malformed frame or an out-of-contract message."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON payload."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds "
+                            f"MAX_FRAME ({MAX_FRAME})")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_message(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame's payload (sans length prefix)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"frame is not a typed object: {message!r}")
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader
+                       ) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection dropped mid-frame") from None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"announced frame of {length} bytes exceeds "
+                            f"MAX_FRAME ({MAX_FRAME})")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection dropped mid-frame") from None
+    return decode_message(payload)
+
+
+async def write_message(writer: asyncio.StreamWriter,
+                        message: Mapping[str, Any]) -> None:
+    """Write one frame and drain (the back of the backpressure story)."""
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Coordination schemas
+# ---------------------------------------------------------------------------
+
+def descriptor_to_dict(d: AccessDescriptor) -> Dict[str, Any]:
+    """Snapshot an :class:`AccessDescriptor`'s exchanged fields.
+
+    A *snapshot*: the arbiter mutates live descriptors (``remaining_bytes``
+    on release, ``access_started`` on activation), so recording keeps
+    values, never references.
+    """
+    return {
+        "app": d.app,
+        "nprocs": d.nprocs,
+        "total_bytes": d.total_bytes,
+        "t_alone": d.t_alone,
+        "remaining_bytes": d.remaining_bytes,
+        "access_started": d.access_started,
+        "files": d.files,
+        "rounds": d.rounds,
+        "partitions": list(d.partitions),
+    }
+
+
+def descriptor_from_dict(data: Mapping[str, Any]) -> AccessDescriptor:
+    """Inverse of :func:`descriptor_to_dict`, exact on every field.
+
+    ``remaining_bytes``/``access_started`` are restored *after*
+    construction: ``__post_init__`` coerces a zero ``remaining_bytes`` to
+    ``total_bytes``, which must not rewrite a genuinely-drained snapshot.
+    """
+    try:
+        desc = AccessDescriptor(
+            app=str(data["app"]),
+            nprocs=int(data["nprocs"]),
+            total_bytes=float(data["total_bytes"]),
+            t_alone=float(data["t_alone"]),
+            files=int(data.get("files", 1)),
+            rounds=int(data.get("rounds", 1)),
+            partitions=tuple(int(p) for p in data.get("partitions", (0,))),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad descriptor {data!r}: {exc}") from None
+    desc.remaining_bytes = float(data.get("remaining_bytes",
+                                          desc.remaining_bytes))
+    started = data.get("access_started")
+    desc.access_started = None if started is None else float(started)
+    return desc
+
+
+def decision_to_dict(record: DecisionRecord) -> Dict[str, Any]:
+    """One decision-log entry as plain JSON types (for wire + diffing)."""
+    return {
+        "time": record.time,
+        "app": record.app,
+        "action": record.action.value,
+        "active": list(record.active),
+        "waiting": list(record.waiting),
+        "costs": dict(record.costs),
+    }
+
+
+def decisions_to_json(records) -> str:
+    """Canonical serialization of a decision log.
+
+    Two logs are *bit-identical* iff their canonical serializations are
+    equal strings — the equality the service's replay guarantees against
+    the in-process run.
+    """
+    return json.dumps([decision_to_dict(r) for r in records],
+                      separators=(",", ":"), sort_keys=True)

@@ -1,0 +1,184 @@
+"""Recording coordination traffic: the bridge from engine runs to the wire.
+
+:class:`RecordingRouter` is a transparent proxy over the runtime's
+coordinator (:class:`~repro.core.sharding.ShardRouter` or a bare
+:class:`~repro.core.arbiter.Arbiter` — same protocol surface).  Installed
+through :func:`repro.experiments.engine.execute_spec`'s
+``coordinator_wrap`` seam, it observes every Inform/Release/Complete
+exchange of a run and appends it — globally sequenced, timestamped,
+payload snapshotted — to a :class:`CoordinationTrace`.
+
+Why call order is application order
+-----------------------------------
+The batched arbiter queues exchanges into same-timestamp coordination
+rounds, but every synchronous entry point flushes the pending round
+*before* acting, and a flush applies queued entries strictly in arrival
+order.  So the global sequence this proxy records (call order) is exactly
+the order in which the arbiter applies exchanges — which is what lets the
+service replay a trace one exchange at a time (seq-gated) and reproduce
+the in-process decision log bit for bit.  The one fidelity boundary:
+DELAY hold-expiry timers interleave with same-timestamp exchanges by
+event id, which a trace cannot capture — replay equivalence is guaranteed
+for strategies that never return ``Action.DELAY`` (all defaults).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..experiments.engine import execute_spec
+from ..experiments.spec import ExperimentSpec
+from .protocol import descriptor_to_dict
+
+__all__ = ["CoordinationTrace", "RecordingRouter", "record_trace",
+           "spec_fingerprint"]
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Stable digest of a spec — lets the daemon reject mismatched clients."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class CoordinationTrace:
+    """A run's coordination traffic as an ordered, replayable entry list.
+
+    Entries are plain dicts (JSON types only)::
+
+        {"seq": 17, "t": 30.0001, "op": "inform",
+         "app": "app003", "descriptor": {...}}
+        {"seq": 18, "t": 30.2,    "op": "release",
+         "app": "app003", "remaining": 2.0e6}
+        {"seq": 19, "t": 30.4,    "op": "complete", "app": "app003"}
+
+    ``seq`` is the global application order (dense, from 0); ``t`` is the
+    simulated time of the exchange, non-decreasing with ``seq``.
+    """
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None):
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.entries: List[Dict[str, Any]] = []
+
+    # -- building ----------------------------------------------------------
+    def add(self, op: str, app: str, t: float, **payload: Any) -> None:
+        entry = {"seq": len(self.entries), "t": float(t), "op": op,
+                 "app": app}
+        entry.update(payload)
+        self.entries.append(entry)
+
+    # -- views -------------------------------------------------------------
+    @property
+    def apps(self) -> List[str]:
+        """Distinct application names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry["app"])
+        return list(seen)
+
+    def entries_for(self, apps) -> List[Dict[str, Any]]:
+        """The sub-trace of ``apps``, still in global ``seq`` order."""
+        wanted = set(apps)
+        return [e for e in self.entries if e["app"] in wanted]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"meta": dict(self.meta), "entries": list(self.entries)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CoordinationTrace":
+        trace = cls(meta=dict(data.get("meta", {})))
+        trace.entries = [dict(e) for e in data.get("entries", [])]
+        return trace
+
+    def to_json(self, **dumps_kw: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kw)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoordinationTrace":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CoordinationTrace entries={len(self.entries)} "
+                f"apps={len(self.apps)}>")
+
+
+class RecordingRouter:
+    """Coordinator proxy appending every mutating exchange to a trace.
+
+    Mutating protocol calls (`inform`/`release`/`complete`/`withdraw`,
+    sync and batched variants alike) are recorded *then* forwarded;
+    queries and attributes pass straight through, so sessions cannot tell
+    the difference.  Descriptors are snapshotted at call time — the
+    arbiter mutates them afterwards.
+    """
+
+    def __init__(self, inner, trace: CoordinationTrace):
+        self._inner = inner
+        self._trace = trace
+        self._sim = inner.sim
+
+    # -- recorded entry points ---------------------------------------------
+    def submit_inform(self, descriptor):
+        self._trace.add("inform", descriptor.app, self._sim.now,
+                        descriptor=descriptor_to_dict(descriptor))
+        return self._inner.submit_inform(descriptor)
+
+    def on_inform(self, descriptor):
+        self._trace.add("inform", descriptor.app, self._sim.now,
+                        descriptor=descriptor_to_dict(descriptor))
+        return self._inner.on_inform(descriptor)
+
+    def submit_release(self, app, remaining_bytes=None):
+        self._trace.add("release", app, self._sim.now,
+                        remaining=remaining_bytes)
+        return self._inner.submit_release(app, remaining_bytes)
+
+    def on_release(self, app, remaining_bytes=None):
+        self._trace.add("release", app, self._sim.now,
+                        remaining=remaining_bytes)
+        return self._inner.on_release(app, remaining_bytes)
+
+    def on_complete(self, app):
+        self._trace.add("complete", app, self._sim.now)
+        return self._inner.on_complete(app)
+
+    def withdraw(self, app):
+        self._trace.add("withdraw", app, self._sim.now)
+        return self._inner.withdraw(app)
+
+    # -- passthrough -------------------------------------------------------
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RecordingRouter over {self._inner!r}>"
+
+
+def record_trace(spec: ExperimentSpec):
+    """Run ``spec`` in-process, recording its coordination traffic.
+
+    Returns ``(trace, result)`` — the replayable
+    :class:`CoordinationTrace` (meta carries the spec fingerprint and
+    strategy) and the :class:`~repro.experiments.engine.ExperimentResult`
+    whose ``decisions`` are the reference log a replay must reproduce.
+    """
+    if spec.strategy is None:
+        raise ValueError("record_trace() needs a coordinated spec "
+                         "(strategy is None)")
+    trace = CoordinationTrace(meta={
+        "spec_sha": spec_fingerprint(spec),
+        "strategy": (spec.strategy if isinstance(spec.strategy, str)
+                     else getattr(spec.strategy, "name", "custom")),
+        "spec_name": spec.name,
+    })
+    result = execute_spec(
+        spec, coordinator_wrap=lambda inner: RecordingRouter(inner, trace))
+    trace.meta["decisions"] = len(result.decisions)
+    trace.meta["makespan"] = result.makespan
+    return trace, result

@@ -113,16 +113,23 @@ _EPS_BYTES = 1e-6
 #: different choice than the fresh scan would make).
 _REPLAY_MARGIN = 1.0 + 1e-9
 
-#: Cached-step kinds (see ``_Component.fill_steps``).
+#: Cached-step kinds (see ``_Component.fill_slots``).
 _STEP_LINK = 0   #: payload: the saturating FluidLink
 _STEP_CAP = 1    #: payload: the cap-bound FluidFlow
 _STEP_INF = 2    #: terminal: no finite constraint remained
 
 #: Components smaller than this skip the bottleneck cache: a from-scratch
 #: fill over a handful of flows is cheaper than the replay bookkeeping
-#: (the common per-server components of the figure workloads), and a
-#: bypassed fill must drop the cache anyway to keep later replays exact.
+#: (the common per-server components of the figure workloads).
 _CACHE_MIN_FLOWS = 8
+
+#: Cached fill orders kept per component, most recently used first.  Each
+#: slot records the bottleneck order together with the capacity vector it
+#: was priced under, so an observer wiggling ``set_capacity`` between a few
+#: operating points (the write-back cache model throttling ingest) replays
+#: the order recorded for the *matching* vector instead of invalidating the
+#: only cache on every flip.
+_CACHE_SLOTS = 4
 
 
 class FluidLink:
@@ -234,8 +241,8 @@ class _Component:
     """Registry entry for one connected component of the link/flow graph.
 
     Owns the component's wake heap (``(time, seq, gen, flow)`` entries with
-    lazy invalidation) and its cached bottleneck order from the last
-    progressive filling.  :meth:`FlowNetwork._resolve_component` reshapes
+    lazy invalidation) and its cached bottleneck orders from recent
+    progressive fillings (one slot per capacity vector seen).  :meth:`FlowNetwork._resolve_component` reshapes
     an existing component in place when a refill's membership changes
     (union on merge, shrink on split — the refilled part keeps the first
     owner's identity, heap and cache); a component whose links were all
@@ -244,7 +251,7 @@ class _Component:
     """
 
     __slots__ = ("_seq", "links", "heap", "wake_gen", "alive", "nflows",
-                 "fill_steps", "fill_flows")
+                 "fill_slots")
 
     def __init__(self, seq: int, links: Set[FluidLink]):
         self._seq = seq
@@ -253,10 +260,15 @@ class _Component:
         self.wake_gen = 0
         self.alive = True
         self.nflows = 0
-        #: Cached bottleneck order: list of ``(_STEP_* , payload)`` pairs.
-        self.fill_steps: Optional[List[Tuple[int, object]]] = None
-        #: The (registration-ordered) flows the cached order priced.
-        self.fill_flows: Optional[List[FluidFlow]] = None
+        #: Cached bottleneck orders, most recently used first (bounded by
+        #: ``_CACHE_SLOTS``).  Each slot is ``(steps, flows, caps)``: the
+        #: recorded ``(_STEP_*, payload)`` pairs, the registration-ordered
+        #: flows the order priced, and the capacity of every link those
+        #: flows crossed at record time — the key that lets a capacity
+        #: wiggle come back to a still-valid order.
+        self.fill_slots: List[Tuple[List[Tuple[int, object]],
+                                    List[FluidFlow],
+                                    Dict[FluidLink, float]]] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "dead"
@@ -547,33 +559,59 @@ class FlowNetwork:
                 for link in f.path:
                     residual[link] = max(0.0, residual[link] - f.rate)
 
-    def _fill_rates_cached(self, comp: _Component, flows: List[FluidFlow],
-                           comp_dirty: List[FluidLink]) -> None:
-        """Fill ``flows`` by replaying the component's cached bottleneck order.
+    def _fill_rates_cached(self, comp: _Component, flows: List[FluidFlow]) -> None:
+        """Fill ``flows`` by replaying one of the component's cached orders.
 
         Replays cached steps while they are provably still what the fresh
         scan would choose; prices the rest with the fresh loop from the
         replayed state.  Bit-identical to :meth:`_fill_rates` because every
         reused step's share is recomputed from residuals maintained exactly
-        as the fresh loop maintains them, and any step a dirty link or a
+        as the fresh loop maintains them, and any step a changed link or a
         changed flow could plausibly preempt is not reused.
+
+        The slot to replay is chosen by capacity vector: the first slot
+        (most recently used first) whose recorded capacities match every
+        link the current flows cross replays with no capacity-changed
+        links at all; failing that, the most recent slot replays with its
+        capacity mismatches treated as changed.  Verification is entirely
+        input-based — recorded capacities versus current, recorded flows
+        versus current — so no dirty-seed history needs to be threaded in,
+        and a fill that bypassed the cache in between cannot invalidate a
+        slot whose inputs still match.
         """
         perf = self.perf
         if perf is not None:
             perf.bump("rate_recomputations")
             perf.bump("flows_touched", len(flows))
-        steps = comp.fill_steps
-        prev = comp.fill_flows
         residual, link_flows = self._fill_setup(flows)
+        # MRU-first slot selection.  A link in the current residual but
+        # absent from a slot's recorded capacities is crossed only by flows
+        # added since that slot — the flow diff below already re-checks it.
+        slots = comp.fill_slots
+        slot_index = 0
+        cap_diffs: List[FluidLink] = []
+        for i, (_steps, _prev, caps) in enumerate(slots):
+            diffs = [link for link in residual
+                     if link in caps and caps[link] != link.capacity]
+            if i == 0:
+                cap_diffs = diffs
+            if not diffs:
+                slot_index, cap_diffs = i, diffs
+                break
+        if slot_index and perf is not None:
+            perf.bump("fill_slot_restores")
+        steps, prev, _caps = slots[slot_index]
+        exact_vector = not cap_diffs
         unfixed = set(flows)
         record: List[Tuple[int, object]] = []
         reused = 0
         if steps:
             # Links whose population or capacity changed since the cached
-            # fill: the refill's dirty seeds plus every link crossed by an
-            # added or removed flow.  Steps bottlenecked elsewhere replay
-            # exactly; these links are re-checked at every reused step.
-            changed_links: Set[FluidLink] = set(comp_dirty)
+            # fill: the chosen slot's capacity mismatches plus every link
+            # crossed by an added or removed flow.  Steps bottlenecked
+            # elsewhere replay exactly; these links are re-checked at
+            # every reused step.
+            changed_links: Set[FluidLink] = set(cap_diffs)
             new_caps: List[FluidFlow] = []
             prev_set = set(prev)
             for f in flows:
@@ -654,8 +692,16 @@ class FlowNetwork:
                 perf.bump("fill_cache_hits")
         if unfixed:
             self._fill_loop(flows, residual, link_flows, unfixed, record)
-        comp.fill_steps = record
-        comp.fill_flows = list(flows)
+        # Store under the capacity vector the fill actually priced.  An
+        # exact-vector replay refreshes its slot in place (and bumps it to
+        # the front); a mismatched replay leaves the old slot intact for
+        # the wiggle to come back to, and files the new vector's order as
+        # a fresh most-recent slot.
+        if exact_vector:
+            del slots[slot_index]
+        slots.insert(0, (record, list(flows),
+                         {link: link.capacity for link in residual}))
+        del slots[_CACHE_SLOTS:]
 
     # -- component registry --------------------------------------------------
     def _resolve_component(self, links: Set[FluidLink]) -> _Component:
@@ -687,8 +733,9 @@ class FlowNetwork:
             return keep  # steady state: the same region refilled again
         best: Optional[_Component] = None
         for old in owners:
-            if old.fill_flows is not None and (
-                    best is None or len(old.fill_flows) > len(best.fill_flows)):
+            if old.fill_slots and (
+                    best is None
+                    or len(old.fill_slots[0][1]) > len(best.fill_slots[0][1])):
                 best = old
             if old is keep:
                 continue
@@ -719,8 +766,9 @@ class FlowNetwork:
                 keep.alive = True
                 self._ncomps += 1
         if best is not None and best is not keep:
-            keep.fill_steps = best.fill_steps
-            keep.fill_flows = best.fill_flows
+            # Copy the container, not share it: the donor may refill on
+            # its own later and must not mutate the heir's MRU order.
+            keep.fill_slots = list(best.fill_slots)
         for link in links:
             link._comp = keep
         if self.perf is not None:
@@ -735,22 +783,23 @@ class FlowNetwork:
     def _components(self, seeds: List[FluidLink]):
         """Connected components of the link/flow graph reachable from seeds.
 
-        Yields ``(flows, links, dirty)`` per non-empty component: the flows
-        sorted by registration order (keeping the filling's bottleneck
-        tie-breaks and residual arithmetic identical to a whole-network
-        fill), the visited link set, and the seeds absorbed into it.
-        Without the component registry (the flat baseline) the link-set and
-        dirty-seed bookkeeping is skipped — nothing reads it.
+        Yields ``(flows, links)`` per non-empty component: the flows sorted
+        by registration order (keeping the filling's bottleneck tie-breaks
+        and residual arithmetic identical to a whole-network fill) and the
+        visited link set.  Without the component registry (the flat
+        baseline) the link-set bookkeeping is skipped — nothing reads it.
+        Which seeds landed where is deliberately *not* tracked: cached-fill
+        verification is input-based (recorded capacities and flows versus
+        current), so dirty history carries no information it needs.
         """
         if not self._registry:
             return self._components_lean(seeds)
-        owner: Dict[FluidLink, int] = {}  # doubles as the visited set
-        comps: List[Tuple[Set[FluidLink], Dict[FluidFlow, None]]] = []
+        visited: Set[FluidLink] = set()
+        out = []
         for seed in seeds:
-            if seed in owner:
+            if seed in visited:
                 continue
-            idx = len(comps)
-            owner[seed] = idx
+            visited.add(seed)
             links: Set[FluidLink] = {seed}
             stack = [seed]
             flows: Dict[FluidFlow, None] = {}
@@ -761,18 +810,12 @@ class FlowNetwork:
                         continue
                     flows[f] = None
                     for other in f.path:
-                        if other not in owner:
-                            owner[other] = idx
+                        if other not in visited:
+                            visited.add(other)
                             links.add(other)
                             stack.append(other)
-            comps.append((links, flows))
-        dirty_by_comp: List[List[FluidLink]] = [[] for _ in comps]
-        for seed in seeds:
-            dirty_by_comp[owner[seed]].append(seed)
-        out = []
-        for (links, flows), dirty in zip(comps, dirty_by_comp):
             if flows:
-                out.append((sorted(flows, key=lambda f: f._seq), links, dirty))
+                out.append((sorted(flows, key=lambda f: f._seq), links))
         return out
 
     def _components_lean(self, seeds: List[FluidLink]):
@@ -796,7 +839,7 @@ class FlowNetwork:
                             visited.add(other)
                             stack.append(other)
             if flows:
-                out.append((sorted(flows, key=lambda f: f._seq), None, None))
+                out.append((sorted(flows, key=lambda f: f._seq), None))
         return out
 
     def _finish_flow(self, f: FluidFlow, now: float) -> None:
@@ -812,7 +855,7 @@ class FlowNetwork:
         f.done.succeed(f)
 
     def _refill_component(self, flows: List[FluidFlow], links: Set[FluidLink],
-                          dirty: List[FluidLink], now: float) -> None:
+                          now: float) -> None:
         """Sync, complete, and re-price one dirty component."""
         if self.perf is not None:
             self.perf.bump("components_refilled")
@@ -826,28 +869,30 @@ class FlowNetwork:
         comp = self._resolve_component(links) if self._registry else None
         if not live:
             if comp is not None:
-                comp.fill_steps = None
-                comp.fill_flows = None
+                comp.fill_slots.clear()
                 comp.nflows = 0
                 if self.heap_pool:
                     self._reindex_component(comp)
             return
         use_cache = (self.fill_cache and comp is not None
                      and len(live) >= _CACHE_MIN_FLOWS)
-        if use_cache and comp.fill_steps is not None:
-            self._fill_rates_cached(comp, live, dirty)
+        if use_cache and comp.fill_slots:
+            self._fill_rates_cached(comp, live)
         else:
             record: Optional[List[Tuple[int, object]]] = \
                 [] if use_cache else None
             if self.perf is not None and use_cache:
                 self.perf.bump("fill_cache_misses")
             self._fill_rates(live, record)
-            if comp is not None:
-                # A fill that bypassed the cache must also drop it: the
-                # cached order no longer reflects this fill's outcome, so
-                # replaying it later would verify against the wrong state.
-                comp.fill_steps = record
-                comp.fill_flows = list(live) if record is not None else None
+            if comp is not None and record is not None:
+                # Fills that bypass the cache (the component dipped below
+                # _CACHE_MIN_FLOWS) leave existing slots alone: each slot
+                # is verified against its own recorded inputs on replay,
+                # so an intervening bypassed fill cannot stale it.
+                caps = {link: link.capacity
+                        for f in live for link in f.path}
+                comp.fill_slots.insert(0, (record, list(live), caps))
+                del comp.fill_slots[_CACHE_SLOTS:]
         self._push_horizons(live, now, comp)
 
     def _refill_global(self, now: float) -> None:
@@ -896,8 +941,8 @@ class FlowNetwork:
                     self._dirty.clear()
                     now = self.sim.now
                     if self.incremental:
-                        for flows, links, dirty in self._components(seeds):
-                            self._refill_component(flows, links, dirty, now)
+                        for flows, links in self._components(seeds):
+                            self._refill_component(flows, links, now)
                     else:
                         self._refill_global(now)
                 self._schedule_next_wake()

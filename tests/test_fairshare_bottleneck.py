@@ -336,6 +336,114 @@ def test_merge_must_not_drop_a_stale_pointer_remainders_wake():
 
 
 # ---------------------------------------------------------------------------
+# Per-capacity-vector slots (observer-driven capacity wiggles)
+# ---------------------------------------------------------------------------
+
+def test_capacity_wiggle_restores_matching_slot():
+    """Toggling a saturated link between two operating points must flip
+    between cached slots (one per capacity vector) instead of invalidating
+    the only cache on every toggle — the single-slot design missed every
+    flip, because the changed link gates the whole bottleneck order."""
+    from repro.simcore.fairshare import _CACHE_SLOTS
+
+    def run(**net_kwargs):
+        perf = PerfCounters()
+        sim = Simulator(perf=perf)
+        net = FlowNetwork(sim, perf=perf, **net_kwargs)
+        server = FluidLink(100.0, "server")
+        # Equal, uncapped flows: the link is the only bottleneck, so any
+        # capacity change invalidates the entire cached order — unless a
+        # slot recorded under the returning vector exists.
+        flows = [net.start_flow(1e5, [server]) for _ in range(12)]
+        ramp_misses = []
+
+        def wiggler():
+            yield sim.timeout(1.0)
+            ramp_misses.append(perf.get("fill_cache_misses"))
+            for k in range(20):
+                server.set_capacity(120.0 if k % 2 == 0 else 100.0)
+                yield sim.timeout(1.0)
+
+        sim.process(wiggler())
+        sim.run()
+        return [f.finish_time for f in flows], perf, server, ramp_misses[0]
+
+    times, perf, server, ramp = run(fill_cache=True, heap_pool=True)
+    base_times, _, _, _ = run(fill_cache=False, heap_pool=False)
+    assert times == base_times
+    assert all(not math.isnan(t) for t in times)
+    # Past the ramp-up, only the first fill of each vector misses; every
+    # later flip restores the slot recorded for the vector it returns to.
+    assert perf.get("fill_cache_misses") - ramp <= 1, perf.as_dict()
+    assert perf.get("fill_slot_restores") >= 15, perf.as_dict()
+    assert perf.get("fill_cache_hits") >= 15, perf.as_dict()
+    assert len(server._comp.fill_slots) <= _CACHE_SLOTS
+
+
+def test_wiggle_script_with_churn_matches_baseline_exactly():
+    """Two-point capacity cycling layered over random starts, pauses,
+    resumes and cancels: the slotted cache must stay bit-identical to the
+    cache-free baseline while actually restoring slots."""
+    capacities, starts, random_events = _random_script(21)
+    events = [ev for ev in random_events if ev["kind"] != "capacity"]
+    # A two-point throttle on one link; the rest of the vector stays put,
+    # so every other toggle returns to an already-recorded vector.
+    for k in range(30):
+        events.append({
+            "time": 1.0 + 2.0 * k, "kind": "capacity", "flow": 0,
+            "link": 0,
+            "capacity": float(capacities[0] * (0.8 if k % 2 == 0 else 1.0)),
+        })
+    perf = PerfCounters()
+    cached = _run_script(capacities, starts, events,
+                         fill_cache=True, heap_pool=True, perf=perf)
+    baseline = _run_script(capacities, starts, events,
+                           fill_cache=False, heap_pool=False)
+    for idx in cached:
+        a, b = cached[idx], baseline[idx]
+        if a is None or b is None:
+            assert a == b
+            continue
+        for x, y in zip(a, b):
+            assert x == y or (math.isnan(x) and math.isnan(y)), (idx, x, y)
+    assert perf.get("fill_slot_restores") > 0, perf.as_dict()
+
+
+def test_bypassed_fill_keeps_slots_for_the_cohorts_return():
+    """A component that dips below ``_CACHE_MIN_FLOWS`` (bypassed fresh
+    fills) and then regrows must find its slots intact: slot verification
+    is input-based, so an intervening bypassed fill cannot stale them.
+    The old design dropped the cache on every bypassed fill, charging a
+    full miss when the cohort came back."""
+    perf = PerfCounters()
+    sim = Simulator(perf=perf)
+    net = FlowNetwork(sim, perf=perf)
+    server = FluidLink(1e9, "server")
+    flows = [net.start_flow(1e6, [server], cap=10.0 + i, label=f"f{i}")
+             for i in range(12)]
+
+    def churn():
+        # Churn the largest-cap flows: their steps sit at the end of the
+        # recorded order, so the shrink and regrow refills keep a long
+        # replayable prefix (this isolates the slot-retention behaviour).
+        for f in flows[7:]:
+            yield sim.timeout(1.0)
+            net.pause_flow(f)          # down through 7 live: bypassed fills
+        for f in flows[7:]:
+            yield sim.timeout(1.0)
+            net.resume_flow(f)         # back up: slots must still be there
+
+    sim.process(churn())
+    sim.run()
+    # Only the very first fill misses; the shrink refills replay fully
+    # (removed flows are skipped) and the regrow refills replay partially.
+    assert perf.get("fill_cache_misses") == 1, perf.as_dict()
+    assert perf.get("fill_cache_hits") >= 4, perf.as_dict()
+    assert perf.get("fill_partial_refills") >= 4, perf.as_dict()
+    assert all(not math.isnan(f.finish_time) for f in flows)
+
+
+# ---------------------------------------------------------------------------
 # Full-stack equivalence on the high-churn scenarios
 # ---------------------------------------------------------------------------
 

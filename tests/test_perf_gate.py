@@ -190,6 +190,47 @@ def test_shard_gate_skips_on_mismatches():
     assert ok and "shard@1000x8" in msg
 
 
+def service_record(speedups_by_clients, napps=32, phases=3):
+    """``speedups_by_clients``: {nclients: over-the-wire/in-process ratio}."""
+    return {
+        "benchmark": "scale_service",
+        "config": {"napps": napps, "nservers": 8, "phases": phases,
+                   "strategy": "fcfs", "seed": 1,
+                   "scales": sorted(map(int, speedups_by_clients)),
+                   "full_scale": max(map(int, speedups_by_clients)) >= 8},
+        "scales": {
+            nclients: {"speedup": speedup,
+                       "service_rate": 3000.0 * speedup,
+                       "inproc_rate": 3000.0,
+                       "p50_latency_s": 1e-4, "p99_latency_s": 2e-3,
+                       "decisions": 96, "exchanges": 480,
+                       "wall_seconds": 0.03,
+                       "identical_decision_log": True}
+            for nclients, speedup in speedups_by_clients.items()
+        },
+    }
+
+
+def test_service_gate_uses_largest_common_client_count():
+    committed = service_record({"1": 0.55, "4": 0.52, "8": 0.48})
+    fresh = service_record({"1": 0.50, "4": 0.45})
+    ok, msg = check_perf_regression(fresh, committed, "service")
+    assert ok and "service@4" in msg
+    collapsed = service_record({"1": 0.50, "4": 0.20})
+    ok, msg = check_perf_regression(collapsed, committed, "service")
+    assert not ok and "service@4" in msg and "collapse" in msg
+
+
+def test_service_gate_skips_on_mismatches():
+    ok, msg = check_perf_regression(service_record({"2": 0.5}),
+                                    service_record({"8": 0.5}), "service")
+    assert ok and "no scale" in msg
+    ok, msg = check_perf_regression(service_record({"8": 0.5}, napps=64),
+                                    service_record({"8": 0.5}, napps=32),
+                                    "service")
+    assert ok and "not comparable" in msg
+
+
 def test_custom_factor_and_unknown_kind():
     fresh, committed = kernel_record(150.0), kernel_record(200.0)
     ok, _ = check_perf_regression(fresh, committed, "kernel", factor=1.2)

@@ -1,0 +1,102 @@
+"""The service's headline guarantee: decisions over the wire are
+bit-identical to the in-process run.
+
+Every test records a real ``service-many-writers`` run through the
+:class:`~repro.service.trace.RecordingRouter` seam, replays the trace
+through a self-hosted daemon with N concurrent clients, and compares the
+daemon's decision log against the in-process reference as *strings* via
+the canonical serialization (``decisions_to_json``) — not approximately,
+not field-by-field: the same bytes.
+"""
+
+import asyncio
+import hashlib
+import random
+
+import pytest
+
+from repro.experiments.scenarios import build_scenario
+from repro.service.loadgen import run_service_benchmark
+from repro.service.protocol import decisions_to_json
+from repro.service.trace import CoordinationTrace, record_trace
+
+_TIMEOUT = 120.0
+
+
+def _spec(strategy, seed, napps=8, phases=2):
+    return build_scenario("service-many-writers", napps=napps, nservers=4,
+                          phases=phases, seed=seed, strategy=strategy)[0]
+
+
+def _roundtrip(strategy, seed, nclients, napps=8, phases=2,
+               trace_hop=False):
+    """Record in-process, replay over the wire, demand identical logs."""
+    spec = _spec(strategy, seed, napps=napps, phases=phases)
+
+    async def go():
+        trace, result = record_trace(spec)
+        if trace_hop:
+            # Persisted-trace path: JSON round trip must not cost fidelity.
+            trace = CoordinationTrace.from_json(trace.to_json())
+        stats, service = await run_service_benchmark(
+            spec, nclients,
+            trace_and_reference=(trace, result.decisions,
+                                 float(result.perf["wall_seconds"])))
+        return result, stats, service
+
+    result, stats, service = asyncio.run(asyncio.wait_for(go(), _TIMEOUT))
+    reference = decisions_to_json(result.decisions)
+    assert stats.equivalent, (
+        f"digest diverged for {strategy} seed={seed} nclients={nclients}")
+    assert decisions_to_json(service.decision_log) == reference
+    assert stats.decisions == len(result.decisions) > 0
+    expected_sha = hashlib.sha256(reference.encode("utf-8")).hexdigest()
+    assert stats.digest == expected_sha
+    return stats
+
+
+@pytest.mark.parametrize("strategy", ["fcfs", "interrupt", "dynamic"])
+def test_wire_equivalence_across_strategies(strategy):
+    _roundtrip(strategy, seed=19, nclients=3)
+
+
+@pytest.mark.parametrize("nclients", [1, 2, 5])
+def test_wire_equivalence_across_client_counts(nclients):
+    _roundtrip("fcfs", seed=7, nclients=nclients)
+
+
+def test_wire_equivalence_randomized_traces():
+    """Seeds and client counts drawn at random: no hand-picked cases."""
+    rng = random.Random(0xCA1C10)
+    for _ in range(4):
+        strategy = rng.choice(["fcfs", "dynamic", "interrupt"])
+        _roundtrip(strategy,
+                   seed=rng.randrange(10_000),
+                   nclients=rng.randint(1, 4),
+                   napps=rng.choice([4, 6, 10]),
+                   phases=rng.randint(1, 2))
+
+
+def test_wire_equivalence_survives_trace_serialization():
+    _roundtrip("dynamic", seed=23, nclients=2, trace_hop=True)
+
+
+def test_exchange_counts_match_trace():
+    spec = _spec("fcfs", seed=5)
+
+    async def go():
+        trace, result = record_trace(spec)
+        stats, service = await run_service_benchmark(
+            spec, 2,
+            trace_and_reference=(trace, result.decisions,
+                                 float(result.perf["wall_seconds"])))
+        return trace, stats, service
+
+    trace, stats, service = asyncio.run(asyncio.wait_for(go(), _TIMEOUT))
+    assert stats.exchanges == len(trace)
+    counters = service.perf.as_dict()
+    assert counters["service_exchanges_applied"] == len(trace)
+    assert service.health()["next_seq"] == len(trace)
+    # Every exchange's round trip was measured.
+    assert len(stats.latencies) == len(trace)
+    assert stats.p99_latency_s >= stats.p50_latency_s >= 0.0
