@@ -61,6 +61,12 @@ def main() -> int:
     print(f"     advisory (machine-dependent): optimized-path wall "
           f"{_advisory_wall(fresh, args.kind):.4g}s fresh vs "
           f"{_advisory_wall(committed, args.kind):.4g}s committed")
+    proc = fresh.get("process") if args.kind == "shard" else None
+    if proc:
+        print(f"     advisory (machine-dependent): process workers "
+              f"{proc['speedup_wall']:.2f}x wall / "
+              f"{proc['speedup_cpu']:.2f}x cpu on "
+              f"{proc['config']['cores']} core(s)")
     return 0 if ok else 1
 
 

@@ -24,9 +24,23 @@ The benchmark
   ``benchmarks/results/BENCH_shard.json`` (gated against regressions by
   ``benchmarks/check_perf_regression.py --kind shard`` in CI).
 
+Since the process-parallel backend it also measures the **wall-clock
+regime**: the same 8-shard configuration inline vs ``workers="process"``
+on a lockstep *wave* workload (constant hold times, arrivals aligned
+eight-wide across shards, immediate per-phase re-informs) under a much
+heavier audit, where every coordination timestamp carries one decision
+per shard and the router's pipelined drain overlaps all eight workers.
+Both ``coord_wall_seconds`` (elapsed) and ``coord_seconds`` (summed
+per-shard CPU) speedups are recorded; the >= 3x wall-clock floor is
+asserted only when the host actually has a core per shard
+(``len(os.sched_getaffinity(0)) >= 8``) — on fewer cores the workers
+time-slice one CPU and the record still documents the honest number.
+
 Reduced configurations for CI smoke runs come from the environment:
-``SCALE_SHARD_APPS`` (comma-separated scales, default "500,1000,2000").
-The >= 3x assertion only applies at full scale (>= 1000 applications).
+``SCALE_SHARD_APPS`` (comma-separated scales, default "500,1000,2000")
+and ``SCALE_SHARD_PROC_APPS`` (process-regime scale, default "2000").
+The >= 3x assertions only apply at full scale (>= 1000 applications for
+the algorithmic regime, >= 2000 for the wall-clock regime).
 """
 
 import json
@@ -51,6 +65,11 @@ NPARTITIONS = 8     #: partitions the workload is pinned over
 PHASES = 3          #: guarded accesses per application
 DT_ARRIVAL = 0.05   #: inter-arrival spacing (deep machine-wide backlog)
 SEED = 20140519
+
+#: Process-parallel wall-clock regime: scale and wave spacing.
+PROC_APPS = int(os.environ.get("SCALE_SHARD_PROC_APPS", "2000"))
+PROC_SHARDS = max(SHARD_COUNTS)
+DT_WAVE = 0.01      #: wave spacing — 8 apps (one per shard) per timestamp
 
 _METRIC = CpuSecondsWasted()
 
@@ -86,6 +105,40 @@ class AuditedFCFS(FCFSStrategy):
         descriptors[incoming.app] = incoming
         decision.costs["predicted_wait"] = backlog
         decision.costs["machine_cost"] = _METRIC.cost(times, descriptors)
+        return decision
+
+
+class WaveAuditedFCFS(FCFSStrategy):
+    """FCFS + a deliberately heavy O(population) audit (wall-clock regime).
+
+    Sixteen transcendental terms per backlog entry put the per-decision
+    cost in the hundreds of microseconds at depth ~250 — the regime where
+    shipping the decision to a worker process (tens of microseconds of
+    framing and syscalls per exchange) is profitable.  Module-level so a
+    ``spawn``-started worker can import it by qualified name.
+    """
+
+    name = "fcfs-wave-audit"
+
+    _TERMS = tuple(range(1, 17))
+
+    def decide(self, now, active, waiting, incoming):
+        decision = super().decide(now, active, waiting, incoming)
+        exp, log1p = math.exp, math.log1p
+        backlog = 0.0
+        risk = 0.0
+        for d in active:
+            rem = d.remaining_t
+            backlog += rem
+            risk += exp(-rem) + log1p(rem * rem)
+        for d in waiting:
+            t = d.t_alone
+            backlog += t
+            x = backlog / (1.0 + t)
+            for k in self._TERMS:
+                risk += exp(-x * k) + log1p(x + k)
+        decision.costs["predicted_wait"] = backlog
+        decision.costs["audit_risk"] = risk
         return decision
 
 
@@ -135,10 +188,48 @@ def _drive(napps: int, nshards=None):
     return perf.as_dict(), list(coord.decision_log), done
 
 
+def _drive_wave(napps: int, workers: str) -> dict:
+    """Lockstep wave workload at ``PROC_SHARDS`` shards; returns perf dict.
+
+    Application ``i`` is pinned to partition ``i % PROC_SHARDS`` and
+    arrives at ``(i // PROC_SHARDS) * DT_WAVE`` — one application per
+    shard at every coordination timestamp, with constant hold times so
+    later phases stay aligned.  Every drain therefore carries
+    ``PROC_SHARDS`` decisions, the shape that keeps all worker processes
+    busy simultaneously and makes the wall-clock comparison meaningful.
+    """
+    perf = PerfCounters()
+    sim = Simulator()
+    coord = ShardRouter(sim, PROC_SHARDS, WaveAuditedFCFS,
+                        grant_latency=1e-4, perf=perf, workers=workers,
+                        decision_log_limit=1000)
+
+    def app_proc(i):
+        name = f"wave{i:04d}"
+        partitions = (i % PROC_SHARDS,)
+        yield sim.timeout((i // PROC_SHARDS) * DT_WAVE)
+        for _phase in range(PHASES):
+            desc = AccessDescriptor(app=name, nprocs=16, total_bytes=1e6,
+                                    t_alone=1.0, rounds=1,
+                                    partitions=partitions)
+            authorized = yield coord.submit_inform(desc)
+            if not authorized:
+                yield coord.authorization_event(name)
+            yield sim.timeout(1.0)
+            coord.submit_release(name, 0.0)
+            coord.on_complete(name)
+
+    for i in range(napps):
+        sim.process(app_proc(i))
+    sim.run()
+    coord.close()
+    return perf.as_dict()
+
+
 def _perf_record(perf: dict) -> dict:
-    keys = ("coord_seconds", "coord_decisions", "coord_rounds",
-            "coord_exchanges", "coord_grants")
-    return {k: (round(perf[k], 6) if k == "coord_seconds" else perf[k])
+    keys = ("coord_seconds", "coord_wall_seconds", "coord_decisions",
+            "coord_rounds", "coord_exchanges", "coord_grants")
+    return {k: (round(perf[k], 6) if k.endswith("_seconds") else perf[k])
             for k in keys if k in perf}
 
 
@@ -164,17 +255,22 @@ def test_scale_shards_speedup(report):
     for napps in SCALES:
         per_shardcount = {}
         base_cost = None
+        base_wall = None
         for nshards in SHARD_COUNTS:
             perf, log, _done = _drive(napps, nshards=nshards)
             cost = perf["coord_seconds"]
+            wall = perf.get("coord_wall_seconds", 0.0)
             if nshards == 1:
                 base_cost = cost
+                base_wall = wall
             speedup = (base_cost / cost) if cost > 0 else math.inf
+            speedup_wall = (base_wall / wall) if wall > 0 else math.inf
             depth = (float(np.mean([len(r.waiting) for r in log]))
                      if log else 0.0)
             per_shardcount[str(nshards)] = {
                 "perf": _perf_record(perf),
                 "speedup": round(speedup, 2),
+                "speedup_wall": round(speedup_wall, 2),
                 "mean_waiting_depth": round(depth, 1),
             }
             lines.append(
@@ -183,6 +279,33 @@ def test_scale_shards_speedup(report):
                 f"(mean queue depth {depth:7.1f})")
         scales[str(napps)] = per_shardcount
 
+    # --- Wall-clock regime: 8-shard inline vs one worker process per
+    # shard on the lockstep wave workload (heavy audit, pipelined drains).
+    cores = len(os.sched_getaffinity(0))
+    proc_full_scale = PROC_APPS >= 2000
+    perf_inline = _drive_wave(PROC_APPS, "inline")
+    perf_proc = _drive_wave(PROC_APPS, "process")
+    wall_inline = perf_inline["coord_wall_seconds"]
+    wall_proc = perf_proc["coord_wall_seconds"]
+    speedup_wall = (wall_inline / wall_proc) if wall_proc > 0 else math.inf
+    speedup_cpu = (perf_inline["coord_seconds"] / perf_proc["coord_seconds"]
+                   if perf_proc["coord_seconds"] > 0 else math.inf)
+    process = {
+        "config": {"napps": PROC_APPS, "nshards": PROC_SHARDS,
+                   "dt_wave": DT_WAVE, "phases": PHASES,
+                   "strategy": "fcfs-wave-audit", "cores": cores,
+                   "full_scale": proc_full_scale},
+        "inline": _perf_record(perf_inline),
+        "process": _perf_record(perf_proc),
+        "speedup_wall": round(speedup_wall, 2),
+        "speedup_cpu": round(speedup_cpu, 2),
+    }
+    lines.append(
+        f"  wave  {PROC_APPS:5d} apps x {PROC_SHARDS} shards "
+        f"({cores} core(s)): inline {wall_inline:7.3f} s wall vs process "
+        f"{wall_proc:7.3f} s -> {speedup_wall:5.2f}x wall, "
+        f"{speedup_cpu:5.2f}x cpu")
+
     record = {
         "benchmark": "scale_shards",
         "config": {"scales": list(SCALES), "shard_counts": list(SHARD_COUNTS),
@@ -190,6 +313,7 @@ def test_scale_shards_speedup(report):
                    "dt_arrival": DT_ARRIVAL, "strategy": "fcfs-audited",
                    "seed": SEED, "full_scale": full_scale},
         "scales": scales,
+        "process": process,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_shard.json"
@@ -198,6 +322,13 @@ def test_scale_shards_speedup(report):
     floor = ("3x at >= 1000 apps / 8 shards" if full_scale
              else "none — reduced config")
     lines.append(f"  floor: {floor}")
+    if proc_full_scale and cores >= PROC_SHARDS:
+        lines.append("  wall floor: 3x at 8 shards (process workers)")
+    elif cores < PROC_SHARDS:
+        lines.append(f"  wall floor: skipped — {cores} core(s) for "
+                     f"{PROC_SHARDS} shards")
+    else:
+        lines.append("  wall floor: skipped — reduced config")
     report("BENCH_shard", "\n".join(lines))
 
     for napps_str, per_shardcount in scales.items():
@@ -208,3 +339,12 @@ def test_scale_shards_speedup(report):
                 assert entry["speedup"] >= 3.0, (
                     f"{nshards_str} shards only {entry['speedup']:.2f}x "
                     f"cheaper at {napps_str} apps (needs >= 3x)")
+
+    # The wall-clock floor needs a core per shard: on smaller hosts the
+    # workers time-slice one CPU and the honest number is recorded above
+    # without gating.
+    assert speedup_wall > 0
+    if proc_full_scale and cores >= PROC_SHARDS:
+        assert speedup_wall >= 3.0, (
+            f"process workers only {speedup_wall:.2f}x faster wall-clock "
+            f"at {PROC_APPS} apps / {PROC_SHARDS} shards (needs >= 3x)")

@@ -9,7 +9,8 @@ Public surface:
 * Strategies: interfere / FCFS-serialize / interrupt / dynamic.
 * Metrics: CPU-seconds-wasted, sum of interference factors, max slowdown.
 * Sharding: :class:`ShardRouter` / :class:`ArbiterShard` — one arbiter per
-  file-system partition with an ordered-lock cross-shard protocol.
+  file-system partition with an ordered-lock cross-shard protocol, inline
+  or with one worker process per shard (``workers="process"``).
 """
 
 from .api import CalciomRuntime
@@ -21,7 +22,7 @@ from .metrics import (
 )
 from .registry import ApplicationRecord, ApplicationRegistry
 from .session import CalciomSession
-from .sharding import ArbiterShard, ShardRouter
+from .sharding import ArbiterShard, ShardRouter, ShardWorkerError
 from .strategies import (
     Action, Decision, DynamicStrategy, FCFSStrategy, InterfereStrategy,
     InterruptStrategy, Strategy, make_strategy,
@@ -30,7 +31,7 @@ from .strategies import (
 __all__ = [
     "CalciomRuntime", "CalciomSession",
     "Arbiter", "AccessState", "CoordinationRound", "DecisionRecord",
-    "ArbiterShard", "ShardRouter",
+    "ArbiterShard", "ShardRouter", "ShardWorkerError",
     "ApplicationRegistry", "ApplicationRecord",
     "AccessDescriptor", "DescriptorSetView", "WaitingTotals",
     "EfficiencyMetric", "CpuSecondsWasted",

@@ -64,13 +64,23 @@ class CalciomRuntime:
         (the unsharded baseline on partitioned machines).  Explicit values
         must be 1 or the platform's partition count — a shard owns whole
         partitions.  See :mod:`repro.core.sharding`.
+    workers:
+        ``"inline"`` (default) or ``"process"`` — forwarded to
+        :class:`~repro.core.sharding.ShardRouter`.  Process mode runs
+        each shard in its own worker process; call :meth:`close` (or let
+        the experiment engine do it) after the run.
+    span_delay:
+        ``"requeue"`` (default) or ``"hold"`` — cross-shard DELAY
+        negotiation, forwarded to the router.
     """
 
     def __init__(self, platform: Platform, strategy="dynamic",
                  coordination_latency: Optional[float] = None,
                  batched: bool = True,
                  decision_log_limit: Optional[int] = None,
-                 shards: Optional[int] = None):
+                 shards: Optional[int] = None,
+                 workers: Optional[str] = None,
+                 span_delay: Optional[str] = None):
         self.platform = platform
         self.sim = platform.sim
         latency = (2 * platform.config.latency
@@ -82,12 +92,18 @@ class CalciomRuntime:
             raise SimulationError(
                 f"shards must be 1 or the platform's partition count "
                 f"({npartitions}), got {nshards}")
+        router_kwargs = {}
+        if workers is not None:
+            router_kwargs["workers"] = workers
+        if span_delay is not None:
+            router_kwargs["span_delay"] = span_delay
         self.coordinator = ShardRouter(
             self.sim, nshards, strategy,
             grant_latency=self.coordination_latency,
             batched=batched,
             decision_log_limit=decision_log_limit,
-            perf=getattr(platform, "perf", None))
+            perf=getattr(platform, "perf", None),
+            **router_kwargs)
         # A system-provided arbiter knows its machine: give a dynamic
         # strategy the file-system bandwidth its decisions govern — the
         # whole machine for a single arbiter, the owned partition per
@@ -155,6 +171,17 @@ class CalciomRuntime:
     def sessions(self) -> Dict[str, CalciomSession]:
         """Live sessions by application name."""
         return dict(self._sessions)
+
+    def close(self) -> None:
+        """Release coordinator resources (shard worker processes).
+
+        Idempotent; a no-op for inline coordination.  Call after
+        ``sim.run()`` and before the final ``decision_log`` read so
+        per-worker logs and perf counters are shipped back and merged.
+        """
+        closer = getattr(self.coordinator, "close", None)
+        if closer is not None:
+            closer()
 
     @property
     def decision_log(self):

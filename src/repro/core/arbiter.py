@@ -206,6 +206,15 @@ class Arbiter:
         #: Per-app access generation; bumped on every return to IDLE so
         #: stale DELAY-hold timers can detect a withdraw+re-inform cycle.
         self._epoch: Dict[str, int] = {}
+        #: Most recent strategy decision per app: ``(Action, delay)``.
+        #: Cleared on return to IDLE; lets the shard router distinguish a
+        #: DELAY-hold from a plain WAIT when negotiating span accesses.
+        self._last_decision: Dict[str, tuple] = {}
+        #: Optional callback ``(app, AccessState)`` fired on every state
+        #: transition, in apply order.  The process-shard worker uses it to
+        #: ship an ordered transition stream back to the router so the
+        #: router-side mirror replays grants (and their latency) exactly.
+        self.transition_observer = None
         self.decision_log_limit = decision_log_limit
         self.decision_log = ([] if decision_log_limit is None
                              else deque(maxlen=int(decision_log_limit)))
@@ -292,6 +301,25 @@ class Arbiter:
             self._auth_events[app] = ev
         return ev
 
+    def last_decision_for(self, app: str):
+        """``(Action, delay)`` of ``app``'s most recent strategy decision.
+
+        ``None`` once the access returned to IDLE (or was never seen).
+        Continuations don't re-decide, so this is the verdict that put the
+        app in its current queue — the shard router reads it to tell a
+        DELAY-hold apart from a plain WAIT.
+        """
+        return self._last_decision.get(app)
+
+    def _note_transition(self, app: str, state: AccessState) -> None:
+        observer = self.transition_observer
+        if observer is not None:
+            observer(app, state)
+
+    def _bump_seconds(self, dt: float) -> None:
+        self.perf.bump("coord_seconds", dt)
+        self.perf.bump("coord_wall_seconds", dt)
+
     # -- protocol entry points (synchronous) -------------------------------
     def on_inform(self, descriptor: AccessDescriptor) -> bool:
         """An application announces (or refreshes) an access.
@@ -312,7 +340,7 @@ class Arbiter:
         else:
             authorized = self._decide_fresh([descriptor], events=None)[0]
         if self.perf is not None:
-            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+            self._bump_seconds(time.perf_counter() - t0)
         return authorized
 
     def submit_inform(self, descriptor: AccessDescriptor) -> Event:
@@ -342,7 +370,7 @@ class Arbiter:
             self._open_round().entries.append(_Exchange(
                 _Exchange.INFORM, app, descriptor=descriptor, event=ev))
         if self.perf is not None:
-            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+            self._bump_seconds(time.perf_counter() - t0)
         return ev
 
     def on_release(self, app: str, remaining_bytes: Optional[float] = None) -> None:
@@ -354,7 +382,7 @@ class Arbiter:
         if desc is not None and remaining_bytes is not None:
             desc.remaining_bytes = max(0.0, float(remaining_bytes))
         if self.perf is not None:
-            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+            self._bump_seconds(time.perf_counter() - t0)
 
     def submit_release(self, app: str,
                        remaining_bytes: Optional[float] = None) -> None:
@@ -378,7 +406,7 @@ class Arbiter:
             self._open_round().entries.append(_Exchange(
                 _Exchange.RELEASE, app, remaining=remaining_bytes))
         if self.perf is not None:
-            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+            self._bump_seconds(time.perf_counter() - t0)
 
     def on_complete(self, app: str) -> None:
         """The whole access finished: free the slot, grant successors."""
@@ -396,6 +424,8 @@ class Arbiter:
         self._preempted.discard(app)
         self._active.pop(app, None)
         self._state[app] = AccessState.IDLE
+        self._note_transition(app, AccessState.IDLE)
+        self._last_decision.pop(app, None)
         self._epoch[app] = self._epoch.get(app, 0) + 1
         # A grant notification still in flight belongs to the access that
         # just ended; the next access must not observe it.
@@ -403,7 +433,7 @@ class Arbiter:
         self._desc.pop(app, None)
         self._grant_next()
         if self.perf is not None:
-            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+            self._bump_seconds(time.perf_counter() - t0)
 
     def withdraw(self, app: str) -> None:
         """Remove an application entirely (job end, error paths)."""
@@ -467,7 +497,7 @@ class Arbiter:
                                events=[b.event for b in batch])
             i = j
         if perf is not None:
-            perf.bump("coord_seconds", time.perf_counter() - t0)
+            self._bump_seconds(time.perf_counter() - t0)
 
     def _decide_fresh(self, descriptors: List[AccessDescriptor],
                       events: Optional[List[Event]]) -> List[bool]:
@@ -527,6 +557,7 @@ class Arbiter:
         for victim in targets:
             if self.state_of(victim) is AccessState.ACTIVE:
                 self._state[victim] = AccessState.PREEMPTED
+                self._note_transition(victim, AccessState.PREEMPTED)
                 self._active.pop(victim, None)
                 self._preempted.add(victim)
                 if self.perf is not None:
@@ -536,6 +567,7 @@ class Arbiter:
 
     def _enqueue_waiting(self, app: str) -> None:
         self._state[app] = AccessState.WAITING
+        self._note_transition(app, AccessState.WAITING)
         self._waiting.add(app)
         self._waiting_view.note_append(self._desc[app])
         # Register the authorization event now (not lazily in wait()):
@@ -568,6 +600,7 @@ class Arbiter:
     # -- internals ---------------------------------------------------------
     def _log_decision(self, app: str, decision: Decision,
                       active: List[str], waiting: List[str]) -> None:
+        self._last_decision[app] = (decision.action, decision.delay)
         self.decision_log.append(DecisionRecord(
             time=self.sim.now, app=app, action=decision.action,
             active=active, waiting=waiting, costs=dict(decision.costs),
@@ -587,6 +620,7 @@ class Arbiter:
         self._state[app] = AccessState.ACTIVE
         if self.batched:
             self._active[app] = None
+        self._note_transition(app, AccessState.ACTIVE)
         desc = self._desc.get(app)
         if desc is not None and desc.access_started is None:
             desc.access_started = self.sim.now
@@ -664,11 +698,13 @@ class Arbiter:
                 return True
             if decision.action is Action.WAIT:
                 self._state[app] = AccessState.WAITING
+                self._note_transition(app, AccessState.WAITING)
                 self._waiting.append(app)
                 self._register_auth_event(app)
                 return False
             if decision.action is Action.DELAY:
                 self._state[app] = AccessState.WAITING
+                self._note_transition(app, AccessState.WAITING)
                 self._waiting.append(app)
                 self._register_auth_event(app)
                 self._schedule_hold(app, decision.delay)
@@ -679,6 +715,7 @@ class Arbiter:
             for victim in targets:
                 if self.state_of(victim) is AccessState.ACTIVE:
                     self._state[victim] = AccessState.PREEMPTED
+                    self._note_transition(victim, AccessState.PREEMPTED)
                     self._preempted.append(victim)
                     if self.perf is not None:
                         self.perf.bump("coord_preemptions")
@@ -686,7 +723,7 @@ class Arbiter:
             return True
         finally:
             if self.perf is not None:
-                self.perf.bump("coord_seconds", time.perf_counter() - t0)
+                self._bump_seconds(time.perf_counter() - t0)
 
     def _register_auth_event(self, app: str) -> None:
         ev = self._auth_events.get(app)
@@ -703,9 +740,11 @@ class Arbiter:
         if app in self._preempted:
             self._preempted.remove(app)
         self._state[app] = AccessState.IDLE
+        self._note_transition(app, AccessState.IDLE)
+        self._last_decision.pop(app, None)
         self._epoch[app] = self._epoch.get(app, 0) + 1
         self._inflight.pop(app, None)
         self._desc.pop(app, None)
         self._grant_next()
         if self.perf is not None:
-            self.perf.bump("coord_seconds", time.perf_counter() - t0)
+            self._bump_seconds(time.perf_counter() - t0)

@@ -43,12 +43,22 @@ from __future__ import annotations
 import copy
 from typing import Dict, List, Optional, Tuple
 
-from ..simcore import AllOf, Event, Simulator
+from ..simcore import AllOf, Event, SimulationError, Simulator
 from .arbiter import AccessState, Arbiter, DecisionRecord
 from .metrics import AccessDescriptor
-from .strategies import Strategy, make_strategy
+from .strategies import Action, Strategy, make_strategy
 
-__all__ = ["ArbiterShard", "ShardRouter"]
+__all__ = ["ArbiterShard", "ShardRouter", "ShardWorkerError"]
+
+
+class ShardWorkerError(SimulationError):
+    """A shard worker process died or misbehaved mid-run.
+
+    Raised out of the simulation by the process-parallel backend
+    (:mod:`repro.core.shardproc`) after it has withdrawn in-flight
+    grants on the surviving workers and torn the pool down — the
+    experiment fails cleanly instead of hanging on a dead pipe.
+    """
 
 
 class _ShardPerf:
@@ -129,36 +139,91 @@ class ShardRouter:
     perf:
         Optional :class:`~repro.perf.PerfCounters`; with several shards
         each arbiter additionally bumps ``coord_*_shard<i>`` counters.
+    workers:
+        ``"inline"`` (default) hosts every shard's arbiter in this
+        process; ``"process"`` runs each shard in its own worker process
+        behind :class:`~repro.core.shardproc.ShardProcessPool` (lazy
+        fork/spawn on the first exchange, so runtime-injected strategy
+        capacity ships with the worker).  Inline mode is the
+        cross-checked oracle: process mode produces bit-identical merged
+        decision logs on the committed scenarios.
+    span_delay:
+        Cross-shard DELAY negotiation.  ``"requeue"`` (default) releases
+        every already-held shard when a later shard in the engagement
+        order answers with a DELAY hold, waits out the hold, and
+        re-acquires the full chain in ascending order (no capacity is
+        pinned idle; the ordered-resource deadlock argument is
+        re-entered from scratch each attempt).  ``"hold"`` keeps the
+        historical behavior of sitting on the granted prefix.  The two
+        are decision-log-equivalent whenever strategies never DELAY.
     """
 
     def __init__(self, sim: Simulator, nshards: int, strategy,
                  grant_latency: float = 0.0, batched: bool = True,
-                 decision_log_limit: Optional[int] = None, perf=None):
+                 decision_log_limit: Optional[int] = None, perf=None,
+                 workers: str = "inline", span_delay: str = "requeue"):
         if nshards < 1:
             raise ValueError(f"nshards must be >= 1, got {nshards}")
+        if workers not in ("inline", "process"):
+            raise ValueError(f"workers must be 'inline' or 'process', "
+                             f"got {workers!r}")
+        if span_delay not in ("requeue", "hold"):
+            raise ValueError(f"span_delay must be 'requeue' or 'hold', "
+                             f"got {span_delay!r}")
         self.sim = sim
         self.nshards = int(nshards)
         self.batched = bool(batched)
         self.perf = perf
+        self.workers = workers
+        self.span_delay = span_delay
         is_instance = isinstance(strategy, Strategy)
-        self.shards: List[ArbiterShard] = []
-        for i in range(self.nshards):
-            shard_perf = (perf if (perf is None or self.nshards == 1)
-                          else _ShardPerf(perf, i))
+
+        def _strat() -> Strategy:
             if not is_instance:
-                strat = make_strategy(strategy)
-            elif self.nshards == 1:
-                strat = strategy
-            else:
-                strat = copy.copy(strategy)
-            self.shards.append(ArbiterShard(i, Arbiter(
-                sim, strat, grant_latency=grant_latency, batched=batched,
-                decision_log_limit=decision_log_limit, perf=shard_perf)))
+                return make_strategy(strategy)
+            if self.nshards == 1:
+                return strategy
+            return copy.copy(strategy)
+
+        self.shards: List[ArbiterShard] = []
+        self._pool = None
+        if workers == "process":
+            # Imported lazily: shardproc pulls in repro.service.protocol,
+            # which must not load while repro.core is still initializing.
+            from .shardproc import ShardProcessPool, WorkerShardProxy
+            self._pool = ShardProcessPool(
+                sim, self.nshards, grant_latency=grant_latency,
+                batched=batched, decision_log_limit=decision_log_limit,
+                perf=perf)
+            for i in range(self.nshards):
+                proxy = WorkerShardProxy(self._pool, i, _strat(),
+                                         batched=batched)
+                self.shards.append(ArbiterShard(i, proxy))
+        else:
+            for i in range(self.nshards):
+                shard_perf = (perf if (perf is None or self.nshards == 1)
+                              else _ShardPerf(perf, i))
+                self.shards.append(ArbiterShard(i, Arbiter(
+                    sim, _strat(), grant_latency=grant_latency,
+                    batched=batched, decision_log_limit=decision_log_limit,
+                    perf=shard_perf)))
         #: Pure pass-through target when unsharded (bit-identical runs).
-        self._solo: Optional[Arbiter] = (
-            self.shards[0].arbiter if self.nshards == 1 else None)
+        #: A single-shard worker proxy passes through the same way — its
+        #: protocol surface is the arbiter's.
+        self._solo = self.shards[0].arbiter if self.nshards == 1 else None
         self._targets: Dict[str, Tuple[int, ...]] = {}
         self._span: Dict[str, _Span] = {}
+
+    def close(self) -> None:
+        """Tear down worker processes (no-op for inline shards).
+
+        With ``workers="process"`` this drains outstanding replies,
+        ships every worker's decision log and perf counters back to the
+        router side, and joins the pool — call it after ``sim.run()``
+        and before reading ``decision_log`` for the last time.
+        """
+        if self._pool is not None:
+            self._pool.close()
 
     # -- routing -----------------------------------------------------------
     def shard_of(self, partition: int) -> int:
@@ -355,27 +420,58 @@ class ShardRouter:
         as the first shard queues us (the session then blocks in Wait()
         on the span's authorization event, which fires when the full
         chain is held).
+
+        DELAY negotiation (``span_delay="requeue"``): when a *later*
+        shard in the chain answers with a DELAY hold while earlier
+        shards are already granted, holding that prefix would pin their
+        capacity idle for the whole hold.  Instead the chain retreats —
+        withdraws from every engaged shard — waits out the hold, and
+        re-acquires the full chain in ascending order.  Each attempt
+        acquires in the same global order, so deadlock-freedom is
+        preserved; a DELAY on the *first* shard holds nothing and simply
+        waits, as does ``span_delay="hold"`` mode.
         """
         app = span.app
-        for s in span.shards:
+        while True:
+            requeue_delay = None
+            for s in span.shards:
+                if span.cancelled:
+                    break
+                arb = self._arb(s)
+                span.engaged.append(s)
+                if self.batched:
+                    ok = yield arb.submit_inform(descriptor.copy())
+                else:
+                    ok = arb.on_inform(descriptor.copy())
+                if span.cancelled:
+                    break
+                if not ok:
+                    if not result.triggered:
+                        result.succeed(False)
+                    if self.span_delay == "requeue" and len(span.engaged) > 1:
+                        dec = arb.last_decision_for(app)
+                        if (dec is not None and dec[0] is Action.DELAY
+                                and dec[1] > 0.0):
+                            requeue_delay = dec[1]
+                            break
+                    yield arb.authorization_event(app)
             if span.cancelled:
-                break
-            arb = self._arb(s)
-            span.engaged.append(s)
-            if self.batched:
-                ok = yield arb.submit_inform(descriptor.copy())
-            else:
-                ok = arb.on_inform(descriptor.copy())
-            if span.cancelled:
-                break
-            if not ok:
                 if not result.triggered:
                     result.succeed(False)
-                yield arb.authorization_event(app)
-        if span.cancelled:
-            if not result.triggered:
-                result.succeed(False)
-            return
+                return
+            if requeue_delay is None:
+                break
+            # Retreat: release every engaged shard (the delaying one's
+            # hold is epoch-cancelled by its withdraw), sleep the hold
+            # out, then restart the whole ascending chain.
+            for s in span.engaged:
+                self._arb(s).withdraw(app)
+            del span.engaged[:]
+            yield self.sim.timeout(requeue_delay)
+            if span.cancelled:
+                if not result.triggered:
+                    result.succeed(False)
+                return
         span.complete = True
         if not result.triggered:
             # Every shard granted synchronously: the session never waits.

@@ -128,25 +128,37 @@ def execute_spec(spec: ExperimentSpec,
     with WallTimer() as timer:
         platform = Platform(spec.platform)
         runtime: Optional[CalciomRuntime] = None
-        if spec.strategy is not None:
-            runtime = CalciomRuntime(platform, strategy=spec.strategy,
-                                     **dict(spec.arbiter))
-            if coordinator_wrap is not None:
-                runtime.coordinator = coordinator_wrap(runtime.coordinator)
-        apps: List[IORApp] = []
-        for workload in spec.workloads:
-            cfg = workload.to_ior()
-            app = IORApp(platform, cfg)
+        try:
+            if spec.strategy is not None:
+                runtime = CalciomRuntime(platform, strategy=spec.strategy,
+                                         **dict(spec.arbiter))
+                if coordinator_wrap is not None:
+                    runtime.coordinator = coordinator_wrap(
+                        runtime.coordinator)
+            apps: List[IORApp] = []
+            for workload in spec.workloads:
+                cfg = workload.to_ior()
+                app = IORApp(platform, cfg)
+                if runtime is not None:
+                    session = runtime.session(cfg.name, app.client,
+                                              cfg.nprocs, app.comm,
+                                              partitions=cfg.partitions)
+                    app.guard = session
+                    app.adio.guard = session
+                apps.append(app)
+            for app in apps:
+                app.start()
+            platform.sim.run()
+        finally:
+            # Shard worker processes (arbiter={"workers": "process"}) must
+            # come down whether the run finished or died — and, on the
+            # clean path, *before* the perf snapshot and decision-log read
+            # so per-worker counters and logs are shipped back and merged.
+            # RecordingRouter and friends forward close() to the router.
             if runtime is not None:
-                session = runtime.session(cfg.name, app.client, cfg.nprocs,
-                                          app.comm,
-                                          partitions=cfg.partitions)
-                app.guard = session
-                app.adio.guard = session
-            apps.append(app)
-        for app in apps:
-            app.start()
-        platform.sim.run()
+                closer = getattr(runtime.coordinator, "close", None)
+                if closer is not None:
+                    closer()
 
     records = {app.config.name: AppRecord.from_app(app) for app in apps}
     makespan = max(p.end for app in apps for p in app.phases)

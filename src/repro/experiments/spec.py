@@ -203,7 +203,12 @@ class ExperimentSpec:
     ``arbiter`` carries coordination-layer options forwarded to
     :class:`~repro.core.CalciomRuntime` (``{"batched": False}`` selects
     the unbatched oracle path, ``{"decision_log_limit": 10000}`` caps the
-    decision log for scale scenarios).  Ignored when ``strategy`` is None.
+    decision log for scale scenarios, ``{"shards": 8, "workers":
+    "process"}`` runs each arbiter shard in its own worker process —
+    the engine closes the worker pool on both the clean and the error
+    path — and ``{"span_delay": "hold"}`` retains the historical
+    pin-the-prefix cross-shard DELAY behavior).  Ignored when
+    ``strategy`` is None.
     """
 
     platform: PlatformConfig

@@ -40,7 +40,11 @@ counter                    meaning
 ``coord_grants``           authorizations granted (initial GO included)
 ``coord_preemptions``      ACTIVE -> PREEMPTED transitions
 ``coord_messages``         session-level coordination messages sent
-``coord_seconds``          host wall-clock spent in the arbiter decision loop
+``coord_seconds``          host CPU spent in the arbiter decision loop,
+                           summed across shard workers in process mode
+``coord_wall_seconds``     caller-side elapsed time of coordination — equal to
+                           ``coord_seconds`` inline, router-side blocking time
+                           (overlapped workers excluded) in process mode
 ``wall_seconds``           host wall-clock of the run (attached by the engine)
 =========================  ====================================================
 
@@ -252,6 +256,26 @@ def check_perf_regression(fresh: Mapping[str, Any],
         committed_speedup = _arbiter_speedup(committed, scale)
         kind = f"{kind}@{scale}"
     elif kind == "shard":
+        # Process-worker sub-record (one worker process per shard vs the
+        # inline router on the wave workload): gate the CPU-seconds
+        # speedup — wall-clock depends on the host's core count (the
+        # record's "cores" field), so it is advisory-only, printed by the
+        # CLI wrapper.
+        fresh_proc = fresh.get("process") or {}
+        committed_proc = committed.get("process") or {}
+        ignore_proc = ("cores", "full_scale")
+        if (fresh_proc and committed_proc
+                and _without(fresh_proc.get("config"), ignore_proc)
+                == _without(committed_proc.get("config"), ignore_proc)):
+            fresh_c = float(fresh_proc["speedup_cpu"])
+            committed_c = float(committed_proc["speedup_cpu"])
+            if committed_c > 0:
+                collapse = committed_c / max(fresh_c, 1e-12)
+                if collapse > factor:
+                    return False, (
+                        f"shard-process: fresh cpu speedup {fresh_c:.2f}x "
+                        f"vs committed {committed_c:.2f}x "
+                        f"({collapse:.2f}x collapse, limit {factor}x)")
         common = sorted(set(fresh.get("scales", {}))
                         & set(committed.get("scales", {})), key=float)
         if not common:

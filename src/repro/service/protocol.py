@@ -51,6 +51,7 @@ from ..core.metrics import AccessDescriptor
 __all__ = [
     "MAX_FRAME", "ProtocolError",
     "encode_message", "decode_message", "read_message", "write_message",
+    "read_frame", "write_frame",
     "descriptor_to_dict", "descriptor_from_dict",
     "decision_to_dict", "decisions_to_json",
 ]
@@ -114,6 +115,49 @@ async def write_message(writer: asyncio.StreamWriter,
     """Write one frame and drain (the back of the backpressure story)."""
     writer.write(encode_message(message))
     await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Synchronous framing (blocking sockets)
+# ---------------------------------------------------------------------------
+#
+# The shard-worker transport (:mod:`repro.core.shardproc`) speaks the same
+# frames over blocking ``socketpair`` endpoints — a worker process has no
+# event loop, it just alternates read/apply/write.  ``None`` on clean EOF
+# at a frame boundary mirrors :func:`read_message`.
+
+def _recv_exactly(sock, n: int) -> bytes:
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got:
+                raise ProtocolError("connection dropped mid-frame")
+            return b""
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock) -> Optional[Dict[str, Any]]:
+    """Blocking read of one frame; ``None`` on clean EOF at a boundary."""
+    header = _recv_exactly(sock, _LEN.size)
+    if not header:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"announced frame of {length} bytes exceeds "
+                            f"MAX_FRAME ({MAX_FRAME})")
+    payload = _recv_exactly(sock, length)
+    if len(payload) != length:
+        raise ProtocolError("connection dropped mid-frame")
+    return decode_message(payload)
+
+
+def write_frame(sock, message: Mapping[str, Any]) -> None:
+    """Blocking write of one frame (``sendall``)."""
+    sock.sendall(encode_message(message))
 
 
 # ---------------------------------------------------------------------------

@@ -171,6 +171,42 @@ def test_shard_gate_uses_largest_common_scale_and_shard_count():
     assert not ok and "shard@1000x8" in msg
 
 
+def process_subrecord(speedup_cpu, cores=8, napps=2000):
+    return {
+        "config": {"napps": napps, "nshards": 8, "dt_wave": 0.01,
+                   "phases": 3, "strategy": "fcfs-wave-audit",
+                   "cores": cores, "full_scale": napps >= 2000},
+        "inline": {"coord_seconds": 3.0, "coord_wall_seconds": 3.0},
+        "process": {"coord_seconds": 3.0 / speedup_cpu,
+                    "coord_wall_seconds": 3.0 / speedup_cpu},
+        "speedup_wall": speedup_cpu,
+        "speedup_cpu": speedup_cpu,
+    }
+
+
+def test_shard_gate_process_subrecord():
+    committed = shard_record({"1000": {"1": 1.0, "8": 4.0}})
+    committed["process"] = process_subrecord(2.0, cores=8)
+    # CPU speedup collapse fails the gate even when the main regime holds.
+    fresh = shard_record({"1000": {"1": 1.0, "8": 4.0}})
+    fresh["process"] = process_subrecord(0.5, cores=1)
+    ok, msg = check_perf_regression(fresh, committed, "shard")
+    assert not ok and "shard-process" in msg
+    # A matching speedup passes — core count is ignored for comparability
+    # (CPU seconds are hardware-stable; only wall-clock depends on cores).
+    fresh["process"] = process_subrecord(1.8, cores=1)
+    ok, msg = check_perf_regression(fresh, committed, "shard")
+    assert ok and "shard@1000x8" in msg
+    # A different wave workload skips the sub-gate, not the whole gate.
+    fresh["process"] = process_subrecord(0.5, napps=400)
+    ok, msg = check_perf_regression(fresh, committed, "shard")
+    assert ok and "shard@1000x8" in msg
+    # Records without the sub-record (pre-process-mode) still gate.
+    del fresh["process"]
+    ok, msg = check_perf_regression(fresh, committed, "shard")
+    assert ok and "shard@1000x8" in msg
+
+
 def test_shard_gate_skips_on_mismatches():
     ok, msg = check_perf_regression(shard_record({"250": {"1": 1.0, "8": 2.0}}),
                                     shard_record({"1000": {"1": 1.0, "8": 4.0}}),
