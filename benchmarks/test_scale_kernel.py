@@ -296,6 +296,131 @@ def test_scale_kernel_churn_speedup_and_equivalence(report):
             assert entry["speedup"] > 0
 
 
+# ---------------------------------------------------------------------------
+# Hyperscale regime: vectorized structure-of-arrays kernel vs the incremental
+# oracle at 10^4 .. 10^6 flows
+# ---------------------------------------------------------------------------
+
+VEC_SCALES = tuple(
+    int(s) for s in
+    os.environ.get("SCALE_KERNEL_VEC_FLOWS",
+                   "10000,100000,1000000").split(","))
+HYPER_WAVES = 16
+HYPER_LINKS = 8
+HYPER_GAP = 1.0          # seconds between wave starts
+HYPER_CAPACITY = 1e9     # bytes/s per link
+HYPER_UTILIZATION = 1.5  # offered load > 1: ~waves*(u-1) cohorts pile up
+
+
+HYPER_WEIGHTS = (1.0, 2.0, 4.0, 8.0)  # per-cohort weight ladder
+
+
+def _hyper_workload(nflows: int):
+    """Checkpoint-wave workload for the decision-free 10^6-flow regime.
+
+    ``HYPER_WAVES`` waves of flows arrive at ``HYPER_GAP`` intervals,
+    spread over ``HYPER_LINKS`` single-link components.  A (link, wave)
+    cohort is striped over the ``HYPER_WEIGHTS`` ladder with equal byte
+    sizes, so each weight class completes at its own instant — every
+    completion re-prices the link's thousands of surviving flows, which
+    is pure kernel work (refill + horizon recomputation) with no
+    decision logic: exactly the regime the vectorized allocator exists
+    for.  Offered load above 1.0 makes waves pile up on every link.
+    """
+    cohort = max(len(HYPER_WEIGHTS),
+                 nflows // (HYPER_WAVES * HYPER_LINKS))
+    size = HYPER_UTILIZATION * HYPER_GAP * HYPER_CAPACITY / cohort
+    return cohort, size
+
+
+def _run_hyper_kernel(vectorized: bool, nflows: int):
+    """One hyperscale run; returns (wall, finish_times, perf_counters)."""
+    cohort, size = _hyper_workload(nflows)
+    perf = PerfCounters()
+    sim = Simulator(perf=perf)
+    net = FlowNetwork(sim, incremental=True, perf=perf,
+                      vectorized=vectorized)
+    links = [FluidLink(HYPER_CAPACITY, f"link{j}")
+             for j in range(HYPER_LINKS)]
+    flows = []
+
+    def wave(w):
+        yield sim.timeout(w * HYPER_GAP)
+        flows.extend(net.start_flows(
+            {"size": size, "path": [links[j]],
+             "weight": HYPER_WEIGHTS[i % len(HYPER_WEIGHTS)],
+             "label": f"w{w}l{j}"}
+            for j in range(HYPER_LINKS) for i in range(cohort)))
+
+    for w in range(HYPER_WAVES):
+        sim.process(wave(w))
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert not net.active_flows, "all flows must have completed"
+    return wall, np.array([f.finish_time for f in flows]), perf.as_dict()
+
+
+def test_scale_kernel_hyperscale_speedup_and_equivalence(report):
+    """Vectorized SoA kernel >= 5x the incremental oracle at 10^6 flows,
+    with bit-identical completion times (single-link, no caps: the scan
+    order is deterministic, so the equivalence contract promises
+    exact-equal rates, not just ulp-bounded ones)."""
+    scales = {}
+    lines = ["hyperscale kernel benchmark (vectorized SoA kernel vs "
+             "incremental oracle)"]
+    full_scale = max(VEC_SCALES) >= 1_000_000
+    for nflows in sorted(VEC_SCALES):
+        wall_vec, times_vec, perf_vec = _run_hyper_kernel(True, nflows)
+        wall_inc, times_inc, perf_inc = _run_hyper_kernel(False, nflows)
+        assert np.array_equal(times_vec, times_inc), (
+            f"vectorized kernel diverged at {nflows} flows: max |dt| = "
+            f"{np.abs(times_vec - times_inc).max()}"
+        )
+        speedup = wall_inc / wall_vec if wall_vec > 0 else math.inf
+        refills = max(1.0, perf_vec.get("vec_refills", 0))
+        scales[str(nflows)] = {
+            "incremental_wall_seconds": round(wall_inc, 4),
+            "vectorized_wall_seconds": round(wall_vec, 4),
+            "speedup": round(speedup, 2),
+            "perf": {k: perf_vec[k] for k in sorted(perf_vec)
+                     if k.startswith("vec_")},
+        }
+        lines.append(
+            f"  {nflows:8d} flows: incremental {wall_inc:8.3f} s, "
+            f"vectorized {wall_vec:8.3f} s -> {speedup:6.2f}x  "
+            f"(refills {perf_vec.get('vec_refills', 0):.0f}, "
+            f"fill steps/refill "
+            f"{perf_vec.get('vec_fill_steps', 0) / refills:.1f}, "
+            f"rebuild flows {perf_vec.get('vec_rebuild_flows', 0):.0f})")
+    lines.append(f"  floor: {'5x at largest scale' if full_scale else 'none — reduced config'}")
+    record = {
+        "config": {
+            "waves": HYPER_WAVES,
+            "links": HYPER_LINKS,
+            "gap_seconds": HYPER_GAP,
+            "capacity": HYPER_CAPACITY,
+            "utilization": HYPER_UTILIZATION,
+            "weights": list(HYPER_WEIGHTS),
+            "full_scale": full_scale,
+            "scales": sorted(scales, key=float),
+        },
+        "scales": scales,
+        "identical_completion_times": True,
+    }
+    _merge_bench_kernel({"hyperscale": record})
+    report("BENCH_kernel_hyperscale", "\n".join(lines))
+    largest = str(max(VEC_SCALES))
+    if full_scale:
+        assert scales[largest]["speedup"] >= 5.0, (
+            f"vectorized kernel only {scales[largest]['speedup']:.2f}x over "
+            f"the incremental oracle at {largest} flows (needs >= 5x)"
+        )
+    else:
+        for entry in scales.values():
+            assert entry["speedup"] > 0
+
+
 def test_scale_kernel_components_stay_small():
     """The point of the refactor: touched-set size is per-component.
 

@@ -85,6 +85,17 @@ change.  ``FlowNetwork(sim, fill_cache=False, heap_pool=False)`` is the
 PR-2 regime — dirty-component refills with from-scratch filling and a
 single flat heap — kept as the baseline for
 ``benchmarks/test_scale_kernel.py`` and as a second equivalence oracle.
+
+For the 10^6-flow regime, ``FlowNetwork(sim, vectorized=True)``
+(``PlatformConfig(allocator="vectorized")``) swaps the per-flow Python
+inner loops for the structure-of-arrays backend in
+:mod:`repro.simcore.fairshare_vec`: per-component numpy arrays, masked
+array reductions for whole fill steps, fused ``rates * dt`` integration
+and array horizon recomputation, with completion ordering always
+identical to the scalar incremental allocator (exact rates where the
+scan order is deterministic, ulp-bounded otherwise — see that module's
+docstring for the contract and ``start_flows`` for the batch-start API
+that keeps 10^6-flow bursts linear).
 """
 
 from __future__ import annotations
@@ -120,8 +131,23 @@ _STEP_INF = 2    #: terminal: no finite constraint remained
 
 #: Components smaller than this skip the bottleneck cache: a from-scratch
 #: fill over a handful of flows is cheaper than the replay bookkeeping
-#: (the common per-server components of the figure workloads).
+#: (the common per-server components of the figure workloads).  This is
+#: the historical fixed cutover, kept as the ``fill_cache_min_flows=8``
+#: override; the default policy is now adaptive (see ``_cache_wants``).
 _CACHE_MIN_FLOWS = 8
+
+#: Adaptive-cutover knobs (``fill_cache_min_flows=None``).  The policy is
+#: per-component: an EWMA of replay outcomes (hit 1.0, partial 0.5, miss
+#: 0.0) decides whether the next refill replays or bypasses.  Components
+#: below the floor never cache (bookkeeping cannot win); between the floor
+#: and the historical threshold the EWMA must argue *for* replay; above it
+#: replay is the default until the EWMA collapses.  A bypassed component
+#: re-probes the cache periodically so a workload shift can re-qualify it.
+_CACHE_ADAPTIVE_FLOOR = 4
+_CACHE_EWMA_DECAY = 0.75
+_CACHE_EWMA_OPTIN = 0.55    #: floor..threshold: EWMA needed to opt in
+_CACHE_EWMA_CUTOFF = 0.2    #: >= threshold: EWMA below this backs off
+_CACHE_PROBE_PERIOD = 32
 
 #: Cached fill orders kept per component, most recently used first.  Each
 #: slot records the bottleneck order together with the capacity vector it
@@ -177,6 +203,8 @@ class FluidLink:
         net = self.network
         if net is None:
             return
+        if net._vec is not None:
+            net._vec.capacity_changed(self)
         net._mark_dirty((self,))
         net._reallocate()
 
@@ -204,7 +232,7 @@ class FluidFlow:
     __slots__ = (
         "size", "remaining", "weight", "cap", "path", "done", "paused",
         "start_time", "finish_time", "rate", "label",
-        "_seq", "_synced", "_gen", "_comp",
+        "_seq", "_synced", "_gen", "_comp", "_vec", "_vidx",
     )
 
     def __init__(self, size: float, path: Sequence[FluidLink], weight: float,
@@ -224,6 +252,8 @@ class FluidFlow:
         self._synced = 0.0       #: time ``remaining`` was last integrated to
         self._gen = 0            #: bumped on every rate change (heap validity)
         self._comp: Optional["_Component"] = None  #: owner of the live heap entry
+        self._vec = None         #: VecState holding this flow's row (vectorized)
+        self._vidx = -1          #: row index within ``_vec``
 
     @property
     def elapsed(self) -> float:
@@ -242,7 +272,8 @@ class _Component:
 
     Owns the component's wake heap (``(time, seq, gen, flow)`` entries with
     lazy invalidation) and its cached bottleneck orders from recent
-    progressive fillings (one slot per capacity vector seen).  :meth:`FlowNetwork._resolve_component` reshapes
+    progressive fillings (one slot per capacity vector seen).
+    :meth:`FlowNetwork._resolve_component` reshapes
     an existing component in place when a refill's membership changes
     (union on merge, shrink on split — the refilled part keeps the first
     owner's identity, heap and cache); a component whose links were all
@@ -251,7 +282,7 @@ class _Component:
     """
 
     __slots__ = ("_seq", "links", "heap", "wake_gen", "alive", "nflows",
-                 "fill_slots")
+                 "fill_slots", "fill_ewma", "fill_probe", "vec")
 
     def __init__(self, seq: int, links: Set[FluidLink]):
         self._seq = seq
@@ -260,6 +291,13 @@ class _Component:
         self.wake_gen = 0
         self.alive = True
         self.nflows = 0
+        #: Adaptive fill-cache state: EWMA of replay outcomes (optimistic
+        #: start so mid-size components try the cache before judging it)
+        #: and the bypass counter driving periodic re-probes.
+        self.fill_ewma = 1.0
+        self.fill_probe = 0
+        #: Structure-of-arrays state (``vectorized`` networks only).
+        self.vec = None
         #: Cached bottleneck orders, most recently used first (bounded by
         #: ``_CACHE_SLOTS``).  Each slot is ``(steps, flows, caps)``: the
         #: recorded ``(_STEP_*, payload)`` pairs, the registration-ordered
@@ -308,17 +346,47 @@ class FlowNetwork:
         index instead of one machine-wide heap (incremental mode only;
         default on).  ``fill_cache=False, heap_pool=False`` is the PR-2
         baseline regime the scale benchmark compares against.
+    vectorized:
+        Store each component's flows as contiguous numpy arrays and run
+        filling, integration and horizon recomputation as array operations
+        (:mod:`repro.simcore.fairshare_vec`).  Requires ``incremental``;
+        supersedes ``fill_cache``/``heap_pool`` (the arrays have their own
+        wake index, and replay caching is meaningless against a vector
+        fill).  Completion ordering is always identical to the scalar
+        incremental allocator; rates are exact where the scan order is
+        deterministic and ulp-bounded otherwise.
+    fill_cache_min_flows:
+        Fill-cache cutover policy (scalar incremental mode).  ``None``
+        (default): adaptive — a per-component EWMA of observed replay
+        outcomes decides when the bottleneck cache pays.  An ``int`` pins
+        the historical fixed threshold (``8`` is the pre-adaptive
+        behaviour).  Either policy is bit-identical in rates: it only
+        chooses *how* a refill is computed, never what it computes.
     """
 
     def __init__(self, sim: Simulator, incremental: bool = True,
-                 perf=None, fill_cache: bool = True, heap_pool: bool = True):
+                 perf=None, fill_cache: bool = True, heap_pool: bool = True,
+                 vectorized: bool = False,
+                 fill_cache_min_flows: Optional[int] = None):
         self.sim = sim
         self.incremental = bool(incremental)
         self.perf = perf
-        self.fill_cache = bool(fill_cache) and self.incremental
-        self.heap_pool = bool(heap_pool) and self.incremental
+        self.vectorized = bool(vectorized)
+        if self.vectorized and not self.incremental:
+            raise SimulationError(
+                "vectorized allocation requires incremental mode")
+        self.fill_cache = bool(fill_cache) and self.incremental \
+            and not self.vectorized
+        self.heap_pool = bool(heap_pool) and self.incremental \
+            and not self.vectorized
+        self.fill_cache_min_flows = fill_cache_min_flows
+        if self.vectorized:
+            from .fairshare_vec import VecEngine
+            self._vec: Optional["VecEngine"] = VecEngine(self)
+        else:
+            self._vec = None
         #: Whether the component registry (link -> _Component) is maintained.
-        self._registry = self.fill_cache or self.heap_pool
+        self._registry = self.fill_cache or self.heap_pool or self.vectorized
         self._flows: Dict[FluidFlow, None] = {}
         self._seq = count()
         self._observers: List[Callable[[float, List[FluidFlow]], None]] = []
@@ -335,13 +403,13 @@ class FlowNetwork:
         self._wake_at: Optional[float] = None
 
     # -- public API ----------------------------------------------------------
-    def start_flow(self, size: float, path: Iterable[FluidLink],
-                   weight: float = 1.0, cap: Optional[float] = None,
-                   label: str = "flow") -> FluidFlow:
-        """Begin transferring ``size`` bytes across ``path``.
+    def _register_flow(self, size: float, path: Iterable[FluidLink],
+                       weight: float = 1.0, cap: Optional[float] = None,
+                       label: str = "flow") -> FluidFlow:
+        """Validate, create and register one flow — no reallocation.
 
-        Returns the flow; its ``done`` event triggers on completion.  A
-        zero-byte flow completes immediately (at the current time).
+        Zero-byte flows complete immediately and are *not* registered;
+        callers detect that via ``flow not in self._flows``.
         """
         if size < 0:
             raise SimulationError(f"flow size must be >= 0, got {size}")
@@ -372,9 +440,43 @@ class FlowNetwork:
         self._flows[flow] = None
         for link in flow.path:
             link._active[flow] = None
+        if self._vec is not None:
+            self._vec.touch(flow.path, flow)
         self._mark_dirty(flow.path)
-        self._reallocate()
         return flow
+
+    def start_flow(self, size: float, path: Iterable[FluidLink],
+                   weight: float = 1.0, cap: Optional[float] = None,
+                   label: str = "flow") -> FluidFlow:
+        """Begin transferring ``size`` bytes across ``path``.
+
+        Returns the flow; its ``done`` event triggers on completion.  A
+        zero-byte flow completes immediately (at the current time).
+        """
+        flow = self._register_flow(size, path, weight=weight, cap=cap,
+                                   label=label)
+        if flow in self._flows:
+            self._reallocate()
+        return flow
+
+    def start_flows(self, requests: Iterable[dict]) -> List[FluidFlow]:
+        """Begin many transfers with **one** reallocation (batch start).
+
+        ``requests`` is an iterable of keyword dicts for
+        :meth:`start_flow` (``size`` and ``path`` required; ``weight``,
+        ``cap``, ``label`` optional).  Physically equivalent to starting
+        each flow alone at the same instant, but the rates are computed
+        once over the final population instead of once per arrival —
+        which is what makes 10^6-flow bursts affordable under *any*
+        allocator (per-arrival reallocation is quadratic in the burst).
+        Note the event sequence therefore differs from a start-one-at-a-
+        time loop (one reallocation, one observer pass); within a run the
+        physics are exact as always.
+        """
+        flows = [self._register_flow(**req) for req in requests]
+        if any(f in self._flows for f in flows):
+            self._reallocate()
+        return flows
 
     def pause_flow(self, flow: FluidFlow) -> None:
         """Freeze a flow's progress (it keeps its remaining bytes)."""
@@ -397,6 +499,8 @@ class FlowNetwork:
         flow._gen += 1
         for link in flow.path:
             link._active.pop(flow, None)
+        if self._vec is not None:
+            self._vec.drop(flow)
         self._mark_dirty(flow.path)
         self._reallocate()
 
@@ -411,6 +515,12 @@ class FlowNetwork:
         flow._synced = self.sim.now
         for link in flow.path:
             link._active[flow] = None
+        if self._vec is not None:
+            # No append fast path here: a resumed flow re-enters the fill
+            # in registration (_seq) order, not at the end of the arrays,
+            # so the state must be repacked to keep the scan order — and
+            # therefore the weight-sum accumulation — bit-identical.
+            self._vec.touch(flow.path)
         self._mark_dirty(flow.path)
         self._reallocate()
 
@@ -431,6 +541,8 @@ class FlowNetwork:
             link._active.pop(flow, None)
         flow._gen += 1
         flow.rate = 0.0
+        if self._vec is not None:
+            self._vec.drop(flow)
         if not flow.done.triggered:
             if exc is not None:
                 flow.done.fail(exc)
@@ -466,11 +578,19 @@ class FlowNetwork:
         (useful before inspecting ``remaining`` mid-simulation).
         """
         now = self.sim.now
+        if self._vec is not None:
+            self._vec.sync_all(now)
+            return
         for f in self._flows:
             self._sync_flow(f, now)
 
     def _sync_flow(self, f: FluidFlow, now: float) -> None:
         """Integrate one flow's progress from its own sync point to ``now``."""
+        if f._vec is not None:
+            # Array-managed: integrate the whole state (the component's
+            # flows share their sync point anyway) and bank this row back.
+            self._vec.sync_flow(f, now)
+            return
         dt = now - f._synced
         if dt > 0 and not f.paused and f.rate > 0:
             f.remaining = max(0.0, f.remaining - f.rate * dt)
@@ -602,6 +722,7 @@ class FlowNetwork:
             perf.bump("fill_slot_restores")
         steps, prev, _caps = slots[slot_index]
         exact_vector = not cap_diffs
+        cold = not steps or set(prev) != set(flows)
         unfixed = set(flows)
         record: List[Tuple[int, object]] = []
         reused = 0
@@ -690,6 +811,19 @@ class FlowNetwork:
                 perf.bump("fill_partial_refills")
             else:
                 perf.bump("fill_cache_hits")
+        # Feed the adaptive cutover: how well did this replay pay?  (A
+        # full hit reuses every step; a partial reuses a prefix; a miss
+        # paid the verification bookkeeping for nothing.)  Cold misses —
+        # the chosen slot was empty or recorded a different flow
+        # membership, so no replay was ever possible — are not scored:
+        # they measure churn, not replay quality, and punishing the
+        # transient ramp-up of a component would disable the cache right
+        # before the stable phase where it pays (e.g. capacity wiggles
+        # returning to a recorded vector).
+        if reused or not cold:
+            score = 0.0 if reused == 0 else (0.5 if unfixed else 1.0)
+            comp.fill_ewma = (_CACHE_EWMA_DECAY * comp.fill_ewma
+                              + (1.0 - _CACHE_EWMA_DECAY) * score)
         if unfixed:
             self._fill_loop(flows, residual, link_flows, unfixed, record)
         # Store under the capacity vector the fill actually priced.  An
@@ -846,6 +980,8 @@ class FlowNetwork:
         del self._flows[f]
         for link in f.path:
             link._active.pop(f, None)
+        if self._vec is not None:
+            self._vec.drop(f)
         f._gen += 1
         f.remaining = 0.0
         f.rate = 0.0
@@ -875,7 +1011,7 @@ class FlowNetwork:
                     self._reindex_component(comp)
             return
         use_cache = (self.fill_cache and comp is not None
-                     and len(live) >= _CACHE_MIN_FLOWS)
+                     and self._cache_wants(comp, len(live)))
         if use_cache and comp.fill_slots:
             self._fill_rates_cached(comp, live)
         else:
@@ -894,6 +1030,35 @@ class FlowNetwork:
                 comp.fill_slots.insert(0, (record, list(live), caps))
                 del comp.fill_slots[_CACHE_SLOTS:]
         self._push_horizons(live, now, comp)
+
+    def _cache_wants(self, comp: _Component, nflows: int) -> bool:
+        """Should this refill go through the bottleneck cache?
+
+        ``fill_cache_min_flows`` as an ``int`` is the historical fixed
+        cutover (``8`` reproduces the pre-adaptive behaviour exactly).
+        ``None`` (default) learns per component from the observed ``fill_*``
+        outcomes: the replay-score EWMA opts mid-size components in while
+        replay pays and backs big ones off when the workload thrashes the
+        cache, with a periodic probe so a bypassed component can
+        re-qualify.  The choice only affects *how* rates are computed —
+        replay is verified bit-identical — so any policy yields the same
+        physics.
+        """
+        min_flows = self.fill_cache_min_flows
+        if min_flows is not None:
+            return nflows >= min_flows
+        if nflows < _CACHE_ADAPTIVE_FLOOR:
+            return False
+        cutoff = (_CACHE_EWMA_CUTOFF if nflows >= _CACHE_MIN_FLOWS
+                  else _CACHE_EWMA_OPTIN)
+        if comp.fill_ewma >= cutoff:
+            comp.fill_probe = 0
+            return True
+        comp.fill_probe += 1
+        if comp.fill_probe >= _CACHE_PROBE_PERIOD:
+            comp.fill_probe = 0
+            return True
+        return False
 
     def _refill_global(self, now: float) -> None:
         """The oracle: sync and re-price every flow, fresh."""
@@ -940,7 +1105,9 @@ class FlowNetwork:
                     seeds = list(self._dirty)
                     self._dirty.clear()
                     now = self.sim.now
-                    if self.incremental:
+                    if self._vec is not None:
+                        self._vec.reallocate(seeds, now)
+                    elif self.incremental:
                         for flows, links in self._components(seeds):
                             self._refill_component(flows, links, now)
                     else:
@@ -1035,7 +1202,9 @@ class FlowNetwork:
         return heap[0][0]
 
     def _schedule_next_wake(self) -> None:
-        if self.heap_pool:
+        if self._vec is not None:
+            target = self._vec.next_horizon()
+        elif self.heap_pool:
             target = self._pool_next_horizon()
         else:
             target = self._flat_next_horizon()
@@ -1068,6 +1237,15 @@ class FlowNetwork:
         perf = self.perf
         if perf is not None:
             perf.bump("wakes")
+        if self._vec is not None:
+            # Array mode: the engine pops due states, finishes (or marks
+            # dirty) their due flows in the scalar pool's global
+            # (horizon, seq) order, and re-arms touched states.
+            if self._vec.on_wake(now):
+                self._reallocate()
+            else:
+                self._schedule_next_wake()
+            return
         due: List[Tuple[float, int, FluidFlow]] = []
         if self.heap_pool:
             index = self._comp_index

@@ -1,0 +1,589 @@
+"""Structure-of-arrays backend for ``FlowNetwork(vectorized=True)``.
+
+The incremental allocator of :mod:`.fairshare` prices a dirty component
+one Python flow at a time.  At 10^4 flows per component that inner loop —
+not the algorithm — is the cost: every fill step scans ``link_flows``
+dicts, every ``sync()`` walks flow objects, every refill rebuilds the
+component by BFS.  This module keeps each live component's state as
+contiguous numpy arrays instead and vectorizes the three hot paths:
+
+* **Progressive max-min filling** — whole fill steps become masked array
+  reductions.  Per-link unfixed-weight sums use ``np.bincount`` over a
+  CSR-style (flow, link) entry list: bincount accumulates sequentially in
+  input order, which reproduces the scalar loop's left-to-right
+  ``sum(f.weight ...)`` *exactly* (pairwise ``np.sum``/``reduceat`` would
+  not), so link shares — and therefore bottleneck choices — match the
+  scalar scan bit for bit.  Cap-bottlenecked flows are fixed in batches:
+  max-min link shares are non-decreasing as smaller-share flows fix
+  (``(r - w_f*s)/(w - w_f) >= r/w`` whenever ``s <= r/w``), so every
+  unfixed flow whose cap share is strictly below the current minimum link
+  share fixes before any link saturates, in one vector step.
+* **Lazy residual integration** — ``sync()`` is one fused
+  ``remaining -= rates * dt`` + clamp per component, not a per-flow walk.
+* **Horizon recomputation** — one ``remaining / rates`` division and an
+  argmin feed the wake index; completions inside a state are holes in an
+  ``alive`` mask, not array rebuilds.
+
+Equivalence contract (enforced by ``tests/test_fairshare_vectorized.py``
+and the hyperscale benchmark): completion *ordering* and the event
+sequence are always identical to ``allocator="incremental"``; rates and
+completion times are exact-equal where the scan order is deterministic
+(single-link paths, cap-bound flows, the common figure workloads) and
+ulp-bounded otherwise (multi-link residual subtraction is batched here
+but sequential in the scalar loop, so the last bits of a shared residual
+can differ).
+
+Component merge/split are array concatenation/partition with index
+remapping: a rebuild gathers ``remaining`` from each flow's previous
+state, marks the moved rows dead in place (a split's far side keeps
+completing out of its old arrays — rates there are still valid precisely
+because that side was *not* refilled), and installs the fresh state as
+the component's ``vec``.  A newly started flow whose links all live in
+one current state queues for an in-place array append (no repack of the
+existing rows); other membership changes — resumes included, which
+re-enter mid-array in ``_seq`` order — mark the state stale, forcing the
+next refill through the BFS.  Completions, pauses, cancels and capacity
+changes are O(1) in-place edits, so the steady-state refill never walks
+the graph at all.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import count
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+import numpy as np
+
+from .fairshare import _EPS_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fairshare import FluidFlow, FluidLink, FlowNetwork, _Component
+
+__all__ = ["VecEngine", "VecState"]
+
+#: Wake-index compaction trigger (mirrors the scalar pool's policy).
+_COMPACT_MIN = 64
+
+
+class VecState:
+    """Structure-of-arrays snapshot of one live component.
+
+    Row ``i`` of every per-flow array describes ``flows[i]``; the rows are
+    in registration (``_seq``) order, which is the order the scalar fill
+    iterates — the tie-break order every equivalence argument leans on.
+    ``entry_flow``/``entry_link``/``entry_w`` list the (flow, link)
+    incidence pairs flow-major (CSR over flows); ``lk_indptr``/``lk_flows``
+    is the transposed view (per-link flow lists, seq-ordered).
+    """
+
+    __slots__ = (
+        "comp", "flows", "n", "weights", "caps", "cap_shares", "remaining",
+        "rates", "alive", "horizons", "synced", "links", "link_rows",
+        "capacities", "entry_flow", "entry_link", "entry_w", "lk_indptr",
+        "lk_flows", "stale", "retired", "wake_gen", "_seq", "next_wake",
+        "pending",
+    )
+
+    def __init__(self) -> None:
+        self.stale = False
+        self.retired = False
+        self.wake_gen = 0
+        self.next_wake = math.inf
+        self.pending: List["FluidFlow"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "stale " if self.stale else ""
+        return (f"<VecState #{self._seq} {tag}n={self.n} "
+                f"alive={int(self.alive.sum())}>")
+
+
+class VecEngine:
+    """Array-side twin of one :class:`~.fairshare.FlowNetwork`.
+
+    Owns the per-component :class:`VecState` objects and the wake index (a
+    heap of ``(next_wake, state_seq, wake_gen, state)`` entries with lazy
+    generation-based invalidation, exactly the scalar pool's scheme but
+    keyed by states so a split's leftover arrays keep their own wakes).
+    """
+
+    def __init__(self, net: "FlowNetwork") -> None:
+        self.net = net
+        self._index: List[tuple] = []
+        self._seq = count()
+        self.nstates = 0
+
+    # -- event hooks (O(1) each; called from FlowNetwork mutators) ----------
+    def touch(self, links, flow: Optional["FluidFlow"] = None) -> None:
+        """A membership change hit these links.
+
+        When the change is one added flow whose links all live in a single
+        current (non-stale) state, the flow is queued on that state's
+        ``pending`` list and materialized by array concatenation at the
+        next refill — the common steady-state arrival needs no BFS and no
+        repack of the existing rows.  Any other shape (links spanning
+        several states, a link the state has never seen, no flow context)
+        marks the involved states stale, forcing the next refill through
+        the BFS rebuild.
+        """
+        if flow is not None:
+            target: Optional[VecState] = None
+            for link in links:
+                comp = link._comp
+                st = (comp.vec
+                      if comp is not None and comp.alive else None)
+                if (st is None or st.retired or st.stale
+                        or link not in st.link_rows):
+                    target = None
+                    break
+                if target is None:
+                    target = st
+                elif st is not target:
+                    target = None
+                    break
+            if target is not None:
+                target.pending.append(flow)
+                return
+        for link in links:
+            comp = link._comp
+            if comp is not None:
+                st = comp.vec
+                if st is not None:
+                    st.stale = True
+
+    def capacity_changed(self, link: "FluidLink") -> None:
+        """Patch one capacity row in place (no rebuild needed: membership
+        is unchanged, only the fill inputs moved)."""
+        comp = link._comp
+        if comp is not None:
+            st = comp.vec
+            if st is not None:
+                row = st.link_rows.get(link)
+                if row is not None:
+                    st.capacities[row] = link.capacity
+
+    def drop(self, f: "FluidFlow") -> None:
+        """Detach a finished/paused/cancelled flow: its row becomes a hole."""
+        st = f._vec
+        if st is None:
+            return
+        i = f._vidx
+        st.alive[i] = False
+        st.rates[i] = 0.0
+        f._vec = None
+        f._vidx = -1
+
+    # -- progress integration ----------------------------------------------
+    def _sync_state(self, st: VecState, now: float) -> None:
+        dt = now - st.synced
+        if dt > 0:
+            # Dead rows have rate 0; alive infinite-rate rows clamp to 0.
+            rem = st.remaining
+            np.multiply(st.rates, dt, out=self._scratch(st))
+            np.subtract(rem, self._scratch(st), out=rem)
+            np.maximum(rem, 0.0, out=rem)
+        st.synced = now
+
+    def _scratch(self, st: VecState):
+        # A throwaway buffer the size of the state (allocation is cheap
+        # relative to the fused ops; keeping this a method makes the two
+        # uses above share one allocation per sync).
+        buf = getattr(self, "_buf", None)
+        if buf is None or buf.shape[0] < st.n:
+            buf = np.empty(st.n)
+            self._buf = buf
+        return buf[:st.n]
+
+    def sync_flow(self, f: "FluidFlow", now: float) -> None:
+        """Scalar `_sync_flow` delegate for one array-managed flow."""
+        st = f._vec
+        self._sync_state(st, now)
+        f.remaining = float(st.remaining[f._vidx])
+        f._synced = now
+
+    def sync_all(self, now: float) -> None:
+        """Whole-network ``sync()``: one fused update per state, then write
+        the banked progress back onto the flow objects."""
+        seen: Dict[int, VecState] = {}
+        for f in self.net._flows:
+            st = f._vec
+            if st is None:
+                # Paused (rate 0) or not-yet-priced flows: the scalar rule.
+                dt = now - f._synced
+                if dt > 0 and not f.paused and f.rate > 0:
+                    f.remaining = max(0.0, f.remaining - f.rate * dt)
+                f._synced = now
+            else:
+                seen.setdefault(id(st), st)
+        for st in seen.values():
+            self._sync_state(st, now)
+            rem = st.remaining
+            flows = st.flows
+            for i in np.flatnonzero(st.alive).tolist():
+                fl = flows[i]
+                fl.remaining = rem[i]
+                fl._synced = now
+
+    # -- reallocation -------------------------------------------------------
+    def reallocate(self, seeds: List["FluidLink"], now: float) -> None:
+        """Refill every dirty region: in place when the seed's component
+        has a current (non-stale) state, via BFS rebuild otherwise."""
+        net = self.net
+        consumed: Optional[Set["FluidLink"]] = None
+        done: Set[int] = set()
+        for link in seeds:
+            if consumed is not None and link in consumed:
+                continue
+            comp = link._comp
+            st = comp.vec if (comp is not None and comp.alive) else None
+            if st is not None and not st.stale and link in st.link_rows:
+                if id(st) not in done:
+                    done.add(id(st))
+                    if st.pending:
+                        self._append(st, now)
+                    self._refill(comp, st, now)
+                continue
+            if consumed is None:
+                consumed = set()
+            consumed.add(link)
+            for flows, links in net._components([link]):
+                consumed |= links
+                new_st = self._rebuild(flows, links, now)
+                done.add(id(new_st))
+
+    def _append(self, st: VecState, now: float) -> None:
+        """Materialize the state's pending arrivals as appended rows.
+
+        Only brand-new flows ever ride this path (resumes repack via the
+        stale rebuild): a new flow holds the highest ``_seq`` in the
+        component, so appending its row last preserves registration order
+        — the scalar fill's scan order — which keeps the bincount weight
+        sums, and therefore every bottleneck choice, bit-identical to a
+        rebuild.
+        Rows already claimed by a rebuild (``_vec`` set), cancelled, or
+        paused since registration are skipped; the same-turn reallocate
+        that follows every mutation guarantees the list never carries
+        across events.
+        """
+        pend = [f for f in st.pending
+                if f._vec is None and not f.paused and f in self.net._flows]
+        st.pending = []
+        if not pend:
+            return
+        self._sync_state(st, now)
+        n0 = st.n
+        m = len(pend)
+        weights = np.empty(m)
+        caps = np.full(m, math.inf)
+        remaining = np.empty(m)
+        entry_flow: List[int] = []
+        entry_link: List[int] = []
+        link_rows = st.link_rows
+        for j, f in enumerate(pend):
+            weights[j] = f.weight
+            if f.cap is not None:
+                caps[j] = f.cap
+            remaining[j] = f.remaining
+            i = n0 + j
+            f._vec = st
+            f._vidx = i
+            f._synced = now
+            for link in f.path:
+                entry_flow.append(i)
+                entry_link.append(link_rows[link])
+        st.flows.extend(pend)
+        st.n = n0 + m
+        st.weights = np.concatenate((st.weights, weights))
+        st.caps = np.concatenate((st.caps, caps))
+        with np.errstate(invalid="ignore"):
+            st.cap_shares = st.caps / st.weights
+        st.remaining = np.concatenate((st.remaining, remaining))
+        st.rates = np.concatenate((st.rates, np.zeros(m)))
+        st.alive = np.concatenate((st.alive, np.ones(m, dtype=bool)))
+        st.horizons = np.concatenate((st.horizons, np.full(m, math.inf)))
+        ef = np.concatenate((st.entry_flow,
+                             np.asarray(entry_flow, dtype=np.intp)))
+        el = np.concatenate((st.entry_link,
+                             np.asarray(entry_link, dtype=np.intp)))
+        st.entry_flow = ef
+        st.entry_link = el
+        st.entry_w = st.weights[ef]
+        order = np.argsort(el, kind="stable")
+        st.lk_flows = ef[order]
+        counts = np.bincount(el, minlength=len(st.links))
+        st.lk_indptr = np.concatenate(([0], np.cumsum(counts)))
+        if self.net.perf is not None:
+            self.net.perf.bump("vec_appends")
+            self.net.perf.bump("vec_append_flows", m)
+
+    def _rebuild(self, flows: List["FluidFlow"], links: Set["FluidLink"],
+                 now: float) -> VecState:
+        """Merge/split: gather rows from the previous states into a fresh
+        contiguous state for this (BFS-derived) membership."""
+        net = self.net
+        comp = net._resolve_component(links)
+        comp.fill_slots.clear()  # scalar replay cache is meaningless here
+        n = len(flows)
+        weights = np.empty(n)
+        caps = np.full(n, math.inf)
+        remaining = np.empty(n)
+        rates = np.zeros(n)
+        entry_flow: List[int] = []
+        entry_link: List[int] = []
+        link_rows: Dict["FluidLink", int] = {}
+        link_list: List["FluidLink"] = []
+        for i, f in enumerate(flows):
+            old = f._vec
+            if old is not None:
+                # First touch syncs the whole donor state; repeats no-op.
+                self._sync_state(old, now)
+                remaining[i] = old.remaining[f._vidx]
+                rates[i] = old.rates[f._vidx]
+                # The moved row dies in place: the donor keeps serving only
+                # its genuine remainder (whose rates stay valid because that
+                # side is exactly the part not being refilled).
+                old.alive[f._vidx] = False
+                old.rates[f._vidx] = 0.0
+            else:
+                remaining[i] = f.remaining
+                rates[i] = f.rate
+            weights[i] = f.weight
+            if f.cap is not None:
+                caps[i] = f.cap
+            for link in f.path:
+                row = link_rows.get(link)
+                if row is None:
+                    row = len(link_list)
+                    link_rows[link] = row
+                    link_list.append(link)
+                entry_flow.append(i)
+                entry_link.append(row)
+        st = VecState()
+        st.comp = comp
+        st.flows = list(flows)
+        st.n = n
+        st.weights = weights
+        st.caps = caps
+        with np.errstate(invalid="ignore"):
+            st.cap_shares = caps / weights
+        st.remaining = remaining
+        st.rates = rates
+        st.alive = np.ones(n, dtype=bool)
+        st.horizons = np.full(n, math.inf)
+        st.synced = now
+        st.links = link_list
+        st.link_rows = link_rows
+        st.capacities = np.array([lk.capacity for lk in link_list])
+        ef = np.asarray(entry_flow, dtype=np.intp)
+        el = np.asarray(entry_link, dtype=np.intp)
+        st.entry_flow = ef
+        st.entry_link = el
+        st.entry_w = weights[ef]
+        order = np.argsort(el, kind="stable")
+        st.lk_flows = ef[order]
+        counts = np.bincount(el, minlength=len(link_list))
+        st.lk_indptr = np.concatenate(([0], np.cumsum(counts)))
+        st._seq = next(self._seq)
+        for i, f in enumerate(flows):
+            f._vec = st
+            f._vidx = i
+        comp.vec = st
+        self.nstates += 1
+        if net.perf is not None:
+            net.perf.bump("vec_rebuilds")
+            net.perf.bump("vec_rebuild_flows", n)
+        self._refill(comp, st, now)
+        return st
+
+    def _refill(self, comp: "_Component", st: VecState, now: float) -> None:
+        """Sync, complete, re-price and re-arm one state in place."""
+        net = self.net
+        perf = net.perf
+        self._sync_state(st, now)
+        alive = st.alive
+        finished = alive & (st.remaining <= _EPS_BYTES)
+        if finished.any():
+            flows = st.flows
+            for i in np.flatnonzero(finished).tolist():
+                net._finish_flow(flows[i], now)  # drop() punches the hole
+        if perf is not None:
+            perf.bump("components_refilled")
+            perf.bump("vec_refills")
+        nalive = int(alive.sum())
+        if nalive == 0:
+            self._retire(comp, st)
+            return
+        if perf is not None:
+            perf.bump("rate_recomputations")
+            perf.bump("flows_touched", nalive)
+        prev = st.rates.copy()
+        steps, cap_batches = self._fill(st)
+        if perf is not None:
+            perf.bump("vec_fill_steps", steps)
+            perf.bump("vec_cap_batches", cap_batches)
+        rates = st.rates
+        with np.errstate(divide="ignore", invalid="ignore"):
+            st.horizons = np.where(alive & (rates > 0),
+                                   now + st.remaining / rates, math.inf)
+        nw = float(st.horizons.min())
+        st.next_wake = nw
+        st.wake_gen += 1
+        if math.isfinite(nw):
+            heapq.heappush(self._index, (nw, st._seq, st.wake_gen, st))
+        # Rates live in the arrays, but link_rate()/observers/monitors read
+        # flow objects — write back only the rows that actually moved.
+        changed = np.flatnonzero(rates != prev)
+        if changed.size:
+            flows = st.flows
+            for i, r in zip(changed.tolist(), rates[changed].tolist()):
+                flows[i].rate = r
+            if perf is not None:
+                perf.bump("vec_rate_writebacks", changed.size)
+
+    def _fill(self, st: VecState):
+        """Vectorized progressive filling over the state's alive rows.
+
+        Returns ``(steps, cap_batches)``.  Matches the scalar scan's
+        choices: ``argmin`` takes the first strict minimum (the scalar
+        ``<`` scan's tie-break, with links in first-encounter order), caps
+        lose ties against links (strict ``<``), and per-link weight sums
+        are bincount-exact against the scalar left-to-right sum.
+        """
+        alive = st.alive
+        unfixed = alive.copy()
+        n_unfixed = int(unfixed.sum())
+        residual = st.capacities.copy()
+        rates = st.rates
+        weights = st.weights
+        cap_shares = st.cap_shares
+        entry_flow = st.entry_flow
+        entry_link = st.entry_link
+        entry_w = st.entry_w
+        nlinks = len(st.links)
+        steps = 0
+        cap_batches = 0
+        while n_unfixed:
+            steps += 1
+            active_w = np.where(unfixed[entry_flow], entry_w, 0.0)
+            wsum = np.bincount(entry_link, weights=active_w,
+                               minlength=nlinks)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                shares = np.where(wsum > 0.0, residual / wsum, math.inf)
+            li = int(np.argmin(shares))
+            link_share = float(shares[li])
+            masked_caps = np.where(unfixed, cap_shares, math.inf)
+            cap_min = float(masked_caps.min())
+            if math.isinf(link_share) and math.isinf(cap_min):
+                rates[unfixed] = math.inf
+                break
+            if cap_min < link_share:
+                # Batch-fix every cap strictly below the current minimum
+                # link share: link shares only grow as these fix, so the
+                # scalar loop fixes exactly this set (one per step) before
+                # any link saturates — same rates, same residual deltas.
+                newly = unfixed & (cap_shares < link_share)
+                idx = np.flatnonzero(newly)
+                rates[idx] = weights[idx] * cap_shares[idx]
+                cap_batches += 1
+            else:
+                lo = st.lk_indptr[li]
+                hi = st.lk_indptr[li + 1]
+                members = st.lk_flows[lo:hi]
+                idx = members[unfixed[members]]
+                share = residual[li] / wsum[li]
+                rates[idx] = weights[idx] * share
+                newly = np.zeros(st.n, dtype=bool)
+                newly[idx] = True
+            unfixed[idx] = False
+            n_unfixed -= idx.size
+            if n_unfixed:
+                fixed_rate = np.where(newly[entry_flow],
+                                      rates[entry_flow], 0.0)
+                delta = np.bincount(entry_link, weights=fixed_rate,
+                                    minlength=nlinks)
+                residual = np.maximum(residual - delta, 0.0)
+        return steps, cap_batches
+
+    # -- wake machinery -----------------------------------------------------
+    def next_horizon(self) -> Optional[float]:
+        """Earliest live horizon across all states (the scalar pool's
+        contract), with lazy stale-entry pops and bulk compaction."""
+        index = self._index
+        perf = self.net.perf
+        if len(index) > _COMPACT_MIN and len(index) > 4 * max(1, self.nstates):
+            live = [e for e in index if e[2] == e[3].wake_gen]
+            index[:] = live
+            heapq.heapify(index)
+            if perf is not None:
+                perf.bump("wake_compactions")
+        while index:
+            when, _, gen, st = index[0]
+            if gen != st.wake_gen:
+                heapq.heappop(index)
+                if perf is not None:
+                    perf.bump("wake_stale_pops")
+                continue
+            return when
+        return None
+
+    def on_wake(self, now: float) -> bool:
+        """Collect and handle every due flow across due states.
+
+        Due flows are sorted globally by ``(horizon, flow_seq)`` — the
+        scalar pool's exact completion order — then finished (or marked
+        dirty for the float-residue re-price).  Returns True when any flow
+        was due (the caller reallocates), False otherwise.
+        """
+        net = self.net
+        perf = net.perf
+        index = self._index
+        due: List[tuple] = []
+        touched: List[VecState] = []
+        while index and index[0][0] <= now:
+            _, _, gen, st = heapq.heappop(index)
+            if gen != st.wake_gen:
+                if perf is not None:
+                    perf.bump("wake_stale_pops")
+                continue
+            touched.append(st)
+            self._sync_state(st, now)
+            mask = st.alive & (st.horizons <= now)
+            flows = st.flows
+            h = st.horizons
+            for i in np.flatnonzero(mask).tolist():
+                f = flows[i]
+                due.append((h[i], f._seq, f))
+        due.sort()
+        for _, _, f in due:
+            net._mark_dirty(f.path)
+            st = f._vec
+            if st is None:
+                continue  # finished by an earlier due flow's side effects
+            if st.remaining[f._vidx] <= _EPS_BYTES:
+                net._finish_flow(f, now)
+            # else: float residue — the refill re-prices and re-arms it.
+        for st in touched:
+            st.wake_gen += 1
+            if st.alive.any():
+                nw = float(np.min(st.horizons[st.alive]))
+                st.next_wake = nw
+                if math.isfinite(nw):
+                    heapq.heappush(index, (nw, st._seq, st.wake_gen, st))
+            else:
+                self._retire(st.comp, st)
+        return bool(due)
+
+    def _retire(self, comp: Optional["_Component"], st: VecState) -> None:
+        """Drop a drained state (and its component when it owned it)."""
+        if st.retired:
+            return
+        st.retired = True
+        st.wake_gen += 1  # invalidates every index entry wholesale
+        st.next_wake = math.inf
+        self.nstates -= 1
+        if comp is not None and comp.vec is st:
+            comp.vec = None
+            if comp.alive:
+                comp.alive = False
+                self.net._ncomps -= 1

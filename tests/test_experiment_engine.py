@@ -51,6 +51,16 @@ def test_platform_roundtrip_handles_infinity():
         platform_from_dict({**platform_to_dict(cfg), "bogus": 1})
 
 
+def test_platform_roundtrip_keeps_kernel_knobs():
+    from dataclasses import replace
+    cfg = replace(grid5000_rennes(), allocator="vectorized",
+                  fill_cache_min_flows=8)
+    data = json.loads(json.dumps(platform_to_dict(cfg)))
+    assert platform_from_dict(data) == cfg
+    assert data["allocator"] == "vectorized"
+    assert data["fill_cache_min_flows"] == 8
+
+
 def test_workload_spec_mirrors_ior_config():
     spec = w("A", 50, start_time=3.0, iterations=2)
     cfg = spec.to_ior()

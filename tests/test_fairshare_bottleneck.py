@@ -495,3 +495,138 @@ def test_scenario_equivalence_is_stable_across_allocation_layouts():
         rec_flat = results["incremental-flat"].records
         for name in rec_inc:
             assert rec_inc[name].write_times == rec_flat[name].write_times, name
+
+
+# ---------------------------------------------------------------------------
+# Adaptive fill-cache cutover (per-component replay-score EWMA)
+# ---------------------------------------------------------------------------
+
+def test_fixed_cutover_override_matches_adaptive_exactly():
+    """``fill_cache_min_flows=8`` (the historical fixed cutover) and the
+    adaptive default must yield bit-identical physics: the policy only
+    picks *how* rates are computed, and replay is verified exact."""
+    for seed in (3, 9, 21):
+        script = _random_script(seed)
+        fixed = _run_script(*script, fill_cache=True, heap_pool=True,
+                            fill_cache_min_flows=8)
+        adaptive = _run_script(*script, fill_cache=True, heap_pool=True,
+                               fill_cache_min_flows=None)
+        baseline = _run_script(*script, fill_cache=False, heap_pool=False)
+        for idx in fixed:
+            for variant in (adaptive, baseline):
+                a, b = fixed[idx], variant[idx]
+                if a is None or b is None:
+                    assert a == b
+                    continue
+                for x, y in zip(a, b):
+                    assert x == y or (math.isnan(x) and math.isnan(y)), (
+                        seed, idx, x, y)
+
+
+def test_fixed_cutover_override_on_committed_scenario():
+    """End-to-end: a committed scenario runs bit-identically with the
+    fixed cutover forced through :class:`PlatformConfig`."""
+    from dataclasses import replace
+
+    engine = ExperimentEngine()
+    results = {}
+    for min_flows in (None, 8):
+        spec = build_scenario("checkpoint-waves", napps=30, nservers=6,
+                              ncohorts=3, phases=2, bridge_every=4)[0]
+        spec = replace(spec, platform=replace(
+            spec.platform, fill_cache_min_flows=min_flows))
+        results[min_flows] = engine.run(spec)
+    rec_none, rec_fixed = results[None].records, results[8].records
+    assert rec_none.keys() == rec_fixed.keys()
+    for name in rec_none:
+        assert rec_none[name].write_times == rec_fixed[name].write_times, name
+    assert results[None].makespan == results[8].makespan
+
+
+def test_int_override_gates_strictly_by_flow_count():
+    """An integer ``fill_cache_min_flows`` reproduces the fixed cutover:
+    below the threshold the cache is never consulted, at or above it the
+    first fill records (one miss) and later fills replay."""
+    def run(nflows, min_flows):
+        perf = PerfCounters()
+        sim = Simulator(perf=perf)
+        net = FlowNetwork(sim, perf=perf, fill_cache=True, heap_pool=True,
+                          fill_cache_min_flows=min_flows)
+        server = FluidLink(1e9, "server")
+        # Capped flows on an unsaturated link: cap steps replay across
+        # membership changes, so the drain produces genuine cache hits.
+        flows = [net.start_flow(1e6, [server], cap=10.0 + i)
+                 for i in range(nflows)]
+        sim.run()
+        assert all(not math.isnan(f.finish_time) for f in flows)
+        return perf
+
+    # 6 flows under a cutover of 100: every fill bypasses the cache.
+    perf = run(6, 100)
+    assert perf.get("fill_cache_misses") == 0, perf.as_dict()
+    assert perf.get("fill_cache_hits") == 0, perf.as_dict()
+    assert perf.get("components_refilled") > 0, perf.as_dict()
+    # The same workload under a cutover of 2: one recording miss, then
+    # the staggered completions replay the recorded order.
+    perf = run(6, 2)
+    assert perf.get("fill_cache_misses") >= 1, perf.as_dict()
+    assert perf.get("fill_cache_hits") >= 1, perf.as_dict()
+
+
+def test_adaptive_backs_off_when_replay_never_pays():
+    """A capacity that never revisits an operating point defeats both
+    replay and slot restore: every consulted fill is a genuine miss, the
+    replay-score EWMA decays below the cutoff, and the component stops
+    paying the recording overhead — misses plateau while refills grow."""
+    from repro.simcore.fairshare import _CACHE_PROBE_PERIOD
+
+    perf = PerfCounters()
+    sim = Simulator(perf=perf)
+    net = FlowNetwork(sim, perf=perf, fill_cache=True, heap_pool=True)
+    server = FluidLink(100.0, "server")
+    flows = [net.start_flow(1e6, [server]) for _ in range(12)]
+    ramp = perf.get("fill_cache_misses")  # cold ramp-up misses, unscored
+    nwiggles = 80
+
+    def thrash():
+        for k in range(nwiggles):
+            # Monotonically drifting capacity: no vector ever returns.
+            server.set_capacity(100.0 + 0.5 * (k + 1))
+            yield sim.timeout(1.0)
+
+    sim.process(thrash())
+    sim.run()
+    assert all(not math.isnan(f.finish_time) for f in flows)
+    misses = perf.get("fill_cache_misses") - ramp
+    refills = perf.get("components_refilled")
+    assert refills >= nwiggles
+    # EWMA 1.0 decays below the 0.2 cutoff after 6 score-0 misses; from
+    # then on only the periodic probe (every _CACHE_PROBE_PERIOD bypassed
+    # fills) consults the cache again.
+    assert misses <= 6 + nwiggles // _CACHE_PROBE_PERIOD + 2, perf.as_dict()
+    # ... and the probe really does fire: backoff is not permanent.
+    assert misses >= 7, perf.as_dict()
+
+
+def test_adaptive_stays_on_for_replayable_workload():
+    """Staggered completions replay the recorded bottleneck order with no
+    input drift: the EWMA must stay above the cutoff and keep the cache
+    engaged for the whole drain."""
+    from repro.simcore.fairshare import _CACHE_EWMA_CUTOFF
+
+    perf = PerfCounters()
+    sim = Simulator(perf=perf)
+    net = FlowNetwork(sim, perf=perf, fill_cache=True, heap_pool=True)
+    server = FluidLink(1e9, "server")
+    # Capped flows on an unsaturated link: cap steps replay across both
+    # the ramp (partials) and the staggered drain (hits) — input drift
+    # never defeats the recorded order.
+    flows = [net.start_flow(1e6, [server], cap=10.0 + i)
+             for i in range(12)]
+    sim.run()
+    assert all(not math.isnan(f.finish_time) for f in flows)
+    assert perf.get("fill_cache_hits") + perf.get("fill_partial_refills") \
+        >= 4, perf.as_dict()
+    assert perf.get("fill_cache_misses") <= 2, perf.as_dict()
+    assert server._comp.fill_ewma >= _CACHE_EWMA_CUTOFF, \
+        server._comp.fill_ewma

@@ -113,6 +113,86 @@ def test_kernel_gate_skips_churn_on_differing_workload():
     assert ok
 
 
+def hyperscale_record(speedups_by_scale, waves=16):
+    return {
+        "config": {"waves": waves, "links": 8, "gap_seconds": 1.0,
+                   "capacity": 1e9, "utilization": 1.5,
+                   "weights": [1.0, 2.0, 4.0, 8.0],
+                   "full_scale": True,
+                   "scales": sorted(speedups_by_scale, key=float)},
+        "scales": {
+            scale: {"incremental_wall_seconds": 1.0 * speedup,
+                    "vectorized_wall_seconds": 1.0, "speedup": speedup}
+            for scale, speedup in speedups_by_scale.items()
+        },
+        "identical_completion_times": True,
+    }
+
+
+def with_hyperscale(record, hyperscale):
+    record["hyperscale"] = hyperscale
+    return record
+
+
+def test_kernel_gate_covers_hyperscale_scales():
+    committed = with_hyperscale(
+        kernel_record(200.0),
+        hyperscale_record({"10000": 3.6, "100000": 6.5, "1000000": 6.0}))
+    # Reduced smoke config: the 10^6 scale was not run; the gate compares
+    # at the largest common scale (10^5 here).
+    fresh_ok = with_hyperscale(
+        kernel_record(180.0), hyperscale_record({"10000": 3.5, "100000": 6.0}))
+    ok, _ = check_perf_regression(fresh_ok, committed, "kernel")
+    assert ok
+    fresh_bad = with_hyperscale(
+        kernel_record(180.0), hyperscale_record({"10000": 3.5, "100000": 2.0}))
+    ok, msg = check_perf_regression(fresh_bad, committed, "kernel")
+    assert not ok and "kernel-hyperscale@100000" in msg
+
+
+def test_kernel_gate_skips_hyperscale_loudly_on_one_sided_regime():
+    """A record that predates the vectorized kernel lacks the hyperscale
+    regime entirely: the gate must skip the sub-gate with a note — not
+    raise — and still run the base comparison."""
+    committed = kernel_record(200.0)  # no hyperscale section
+    fresh = with_hyperscale(kernel_record(190.0),
+                            hyperscale_record({"10000": 3.5}))
+    ok, msg = check_perf_regression(fresh, committed, "kernel")
+    assert ok
+    assert "kernel-hyperscale" in msg and "lacks the regime" in msg
+    # The other side: fresh smoke run without the hyperscale benchmark.
+    ok, msg = check_perf_regression(committed, fresh, "kernel")
+    assert ok
+    assert "kernel-hyperscale" in msg and "lacks the regime" in msg
+
+
+def test_kernel_gate_skips_hyperscale_on_differing_workload():
+    committed = with_hyperscale(kernel_record(200.0),
+                                hyperscale_record({"10000": 3.6}))
+    fresh = with_hyperscale(kernel_record(200.0),
+                            hyperscale_record({"10000": 1.0}, waves=4))
+    ok, msg = check_perf_regression(fresh, committed, "kernel")
+    assert ok and "workload parameters differ" in msg
+
+
+def test_kernel_gate_skips_missing_base_speedup_loudly():
+    """A record with only regime sub-records (no base decision-free
+    speedup) must skip the base gate with a message, not KeyError."""
+    committed = with_hyperscale(kernel_record(200.0),
+                                hyperscale_record({"10000": 3.6}))
+    fresh = with_hyperscale({"benchmark": "scale_kernel",
+                             "config": {"napps": 200, "nservers": 40}},
+                            hyperscale_record({"10000": 3.5}))
+    ok, msg = check_perf_regression(fresh, committed, "kernel")
+    assert ok and "lacks the base" in msg
+    # ... but a hyperscale collapse still fails even without a base.
+    collapsed = with_hyperscale({"benchmark": "scale_kernel",
+                                 "config": {"napps": 200, "nservers": 40}},
+                                hyperscale_record({"10000": 1.0}))
+    ok, msg = check_perf_regression(collapsed, committed, "kernel")
+    assert not ok and "kernel-hyperscale@10000" in msg
+
+
 def test_arbiter_gate_uses_largest_common_scale():
     committed = arbiter_record({"100": 2.0, "500": 8.0, "1000": 15.0})
     fresh = arbiter_record({"60": 1.5, "100": 1.9})
