@@ -31,6 +31,11 @@ from repro.perf import check_perf_regression  # noqa: E402
 def _advisory_wall(record: dict, kind: str) -> float:
     if kind == "kernel":
         return float(record["incremental"]["wall_seconds"])
+    if kind == "sim":
+        # Optimized path = the batch dispatcher on the default heap
+        # backend, summed across the dispatch regime's scales.
+        scales = (record.get("dispatch") or {}).get("scales", {})
+        return sum(float(s["heap_wall"]) for s in scales.values())
     scales = record.get("scales", {})
     if kind == "shard":
         # Optimized path = the highest shard count at each scale.
@@ -47,7 +52,8 @@ def _advisory_wall(record: dict, kind: str) -> float:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--kind", required=True,
-                        choices=("kernel", "arbiter", "shard", "service"))
+                        choices=("kernel", "arbiter", "shard", "service",
+                                 "sim"))
     parser.add_argument("--fresh", required=True, type=pathlib.Path)
     parser.add_argument("--committed", required=True, type=pathlib.Path)
     parser.add_argument("--factor", type=float, default=2.0)

@@ -205,7 +205,12 @@ class Arbiter:
         self._inflight: Dict[str, Event] = {}
         #: Per-app access generation; bumped on every return to IDLE so
         #: stale DELAY-hold timers can detect a withdraw+re-inform cycle.
+        #: Kept as a belt-and-braces cross-check even though stale hold
+        #: timers are now *cancelled* outright (see ``_hold_timers``).
         self._epoch: Dict[str, int] = {}
+        #: Pending DELAY-hold timer per app; cancelled (not just outrun by
+        #: the epoch guard) when the access ends or a new hold supersedes.
+        self._hold_timers: Dict[str, object] = {}
         #: Most recent strategy decision per app: ``(Action, delay)``.
         #: Cleared on return to IDLE; lets the shard router distinguish a
         #: DELAY-hold from a plain WAIT when negotiating span accesses.
@@ -427,6 +432,7 @@ class Arbiter:
         self._note_transition(app, AccessState.IDLE)
         self._last_decision.pop(app, None)
         self._epoch[app] = self._epoch.get(app, 0) + 1
+        self._cancel_hold(app)
         # A grant notification still in flight belongs to the access that
         # just ended; the next access must not observe it.
         self._inflight.pop(app, None)
@@ -579,11 +585,12 @@ class Arbiter:
         epoch = self._epoch.get(app, 0)
 
         def _hold_expired() -> None:
+            self._hold_timers.pop(app, None)
             if self.batched:
                 self._flush_pending()
-            # Guard on the access generation: withdraw() + a fresh inform
-            # between scheduling and firing must not see this stale timer
-            # activate the *new* access early.
+            # Guard on the access generation: a stale timer is cancelled at
+            # the epoch bump, so a fire from a previous access would mean
+            # the cancellation contract broke — never activate from one.
             if self._epoch.get(app, 0) != epoch:
                 return
             if self.state_of(app) is not AccessState.WAITING:
@@ -595,7 +602,14 @@ class Arbiter:
                 self._waiting.remove(app)
             self._activate(app)
 
-        self.sim.call_at(self.sim.now + max(0.0, delay), _hold_expired)
+        self._cancel_hold(app)
+        self._hold_timers[app] = self.sim.call_at(
+            self.sim.now + max(0.0, delay), _hold_expired)
+
+    def _cancel_hold(self, app: str) -> None:
+        timer = self._hold_timers.pop(app, None)
+        if timer is not None:
+            timer.cancel()
 
     # -- internals ---------------------------------------------------------
     def _log_decision(self, app: str, decision: Decision,
@@ -617,6 +631,9 @@ class Arbiter:
         current.rounds = incoming.rounds
 
     def _activate(self, app: str) -> None:
+        # Granted by any route (hold expiry, slot free, preemption refill):
+        # a still-pending hold timer for this access is now moot.
+        self._cancel_hold(app)
         self._state[app] = AccessState.ACTIVE
         if self.batched:
             self._active[app] = None
@@ -743,6 +760,7 @@ class Arbiter:
         self._note_transition(app, AccessState.IDLE)
         self._last_decision.pop(app, None)
         self._epoch[app] = self._epoch.get(app, 0) + 1
+        self._cancel_hold(app)
         self._inflight.pop(app, None)
         self._desc.pop(app, None)
         self._grant_next()

@@ -258,6 +258,9 @@ class ShardProcessPool:
         self._depth = 0
         #: Virtual time each shard's wake timer is armed for.
         self._armed: Dict[int, Optional[float]] = {}
+        #: The engine Timer handle backing each armed wake; superseded
+        #: timers are cancelled instead of dispatched-and-ignored.
+        self._wake_timers: Dict[int, object] = {}
 
     # -- wall-clock metering ------------------------------------------------
     @contextmanager
@@ -331,6 +334,9 @@ class ShardProcessPool:
             self.closed = True
 
     def _shutdown(self) -> None:
+        for timer in self._wake_timers.values():
+            timer.cancel()
+        self._wake_timers.clear()
         if self.handles is None:
             return
         for handle in self.handles:
@@ -534,19 +540,24 @@ class ShardProcessPool:
         DELAY holds (and any other worker-internal timer) must fire even
         if no session talks to that shard meanwhile; the router pokes the
         worker with an ``advance`` op at the reported time.  A superseded
-        timer (a drain re-armed earlier) no-ops via the ``_armed`` check;
-        a timer firing after its event was already resolved advances the
-        worker clock harmlessly.
+        timer (a drain re-armed earlier) is cancelled outright; a timer
+        firing after its event was already resolved advances the worker
+        clock harmlessly.
         """
         if nw is None:
             return
         armed = self._armed.get(shard)
         if armed is not None and armed <= nw:
             return
+        old = self._wake_timers.pop(shard, None)
+        if old is not None:
+            old.cancel()
         self._armed[shard] = nw
-        self.sim.call_at(nw, lambda: self._on_wake(shard, nw))
+        self._wake_timers[shard] = self.sim.call_at(
+            nw, lambda: self._on_wake(shard, nw))
 
     def _on_wake(self, shard: int, when: float) -> None:
+        self._wake_timers.pop(shard, None)
         if self.closed or self.broken or self.handles is None:
             return
         if self._armed.get(shard) != when:

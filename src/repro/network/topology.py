@@ -150,9 +150,17 @@ class Fabric:
         def _launch() -> None:
             flow = self.net.start_flow(nbytes, links, weight=weight, cap=cap,
                                        label=label)
-            flow.done.callbacks.append(done.trigger)
+            ev = flow.done
+            if ev.processed:
+                # Zero-byte transfer: the flow completed inside start_flow
+                # and its lazily-materialized event is already processed.
+                done.trigger(ev)
+            else:
+                ev.callbacks.append(done.trigger)
 
         if self.latency > 0:
+            # The Timer handle is dropped deliberately: a launched transfer
+            # is never revoked (cancel_flow is the post-launch abort path).
             self.sim.call_at(self.sim.now + self.latency, _launch)
         else:
             _launch()

@@ -9,7 +9,26 @@ and the monitors, which bump named counters as they work:
 =========================  ====================================================
 counter                    meaning
 =========================  ====================================================
-``events_processed``       simulator events popped off the queue
+``events_processed``       simulator events dispatched (timers included)
+``events_coincident``      events dispatched as non-leaders of a
+                           same-timestamp batch — for every batch of ``n``
+                           coincident events the batch dispatcher bumps
+                           this by ``n - 1`` (one clock write served them
+                           all); high values mean the wave/cohort regimes
+                           are hitting the batch fast path
+``timers_cancelled``       ``call_at`` timers (and ``Timeout`` events)
+                           cancelled or superseded before firing — each one
+                           is queue traffic that never reached a callback.
+                           Counted when the dead entry is *retired* from
+                           the queue (skipped at pop time or swept by bulk
+                           compaction), not at ``cancel()`` time, keeping
+                           cancellation itself bookkeeping-free; totals
+                           match once the queue drains.  Compare with
+                           ``wake_stale_pops`` to see guard dispatches
+                           converted into cancellations
+``timer_fastpath_hits``    timers dispatched through the slotted
+                           fast path (no Event allocation, no callback
+                           list — just the stored function pointer)
 ``reallocations``          allocator invocations (any trigger)
 ``rate_recomputations``    progressive-filling runs (per dirty component)
 ``flows_touched``          flows re-priced across all recomputations
@@ -314,6 +333,37 @@ def check_perf_regression(fresh: Mapping[str, Any],
         fresh_speedup = _arbiter_speedup(fresh, scale)
         committed_speedup = _arbiter_speedup(committed, scale)
         kind = f"{kind}@{scale}"
+    elif kind == "sim":
+        # Dispatch-core sub-record in BENCH_sim.json: per-scale
+        # {"speedup": ...} maps under the "dispatch" regime key, where the
+        # speedup is the batch-dispatch/cancellable-timer loop against the
+        # retained per-event heap oracle on the same workload.  Mirrors
+        # the kernel regime sub-gates: a regime missing on either side —
+        # the normal state while the record rolls out — skips loudly
+        # instead of KeyError-ing.
+        label = "sim-dispatch"
+        fresh_sub = fresh.get("dispatch") or {}
+        committed_sub = committed.get("dispatch") or {}
+        if bool(fresh_sub) != bool(committed_sub):
+            side = "committed" if fresh_sub else "fresh"
+            return True, (f"{label}: {side} record lacks the regime — "
+                          "skipping gate")
+        if not fresh_sub:
+            return True, (f"{label}: neither record has the regime — "
+                          "skipping gate")
+        common = sorted(set(fresh_sub.get("scales", {}))
+                        & set(committed_sub.get("scales", {})), key=float)
+        if not common:
+            return True, f"{label}: records share no scale; skipping gate"
+        ignore = ("scales", "full_scale")
+        if (_without(fresh_sub.get("config"), ignore)
+                != _without(committed_sub.get("config"), ignore)):
+            return True, (f"{label}: workload parameters differ; speedups "
+                          "are not comparable — skipping gate")
+        scale = common[-1]
+        fresh_speedup = float(fresh_sub["scales"][scale]["speedup"])
+        committed_speedup = float(committed_sub["scales"][scale]["speedup"])
+        kind = f"{label}@{scale}"
     elif kind == "shard":
         # Process-worker sub-record (one worker process per shard vs the
         # inline router on the wave workload): gate the CPU-seconds

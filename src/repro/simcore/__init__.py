@@ -6,7 +6,8 @@ the piece everything else leans on — a fluid-flow weighted max-min bandwidth
 allocator (:mod:`repro.simcore.fairshare`).
 """
 
-from .engine import Simulator
+from .calqueue import CalendarQueue
+from .engine import Simulator, Timer
 from .errors import Interrupt, SimulationError
 from .events import AllOf, AnyOf, Condition, Event, Timeout
 from .fairshare import FluidFlow, FluidLink, FlowNetwork
@@ -16,7 +17,8 @@ from .resources import Request, Resource, Store
 from .rng import ensure_rng, substream
 
 __all__ = [
-    "Simulator", "Event", "Timeout", "Condition", "AllOf", "AnyOf",
+    "Simulator", "Timer", "CalendarQueue",
+    "Event", "Timeout", "Condition", "AllOf", "AnyOf",
     "Process", "Interrupt", "SimulationError",
     "Resource", "Request", "Store",
     "FluidLink", "FluidFlow", "FlowNetwork",

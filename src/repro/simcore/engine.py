@@ -1,27 +1,254 @@
 """The simulation engine: a time-ordered event queue and its driver loop.
 
-:class:`Simulator` owns the clock and the heap of scheduled events.  All
+:class:`Simulator` owns the clock and the queue of scheduled events.  All
 model components (network flows, storage servers, applications, CALCioM
 coordinators) hang off one simulator instance, which makes every experiment
 fully deterministic and repeatable — a property the paper's authors had to
 approximate by reserving entire machines.
+
+Dispatch architecture
+---------------------
+The core is built around three throughput levers, all invisible to model
+code:
+
+* **Cancellable timers.** :meth:`Simulator.call_at` returns a slotted
+  :class:`Timer` handle whose :meth:`Timer.cancel` deadmarks the queue
+  entry, so superseded wakes (fair-share horizons, arbiter DELAY holds,
+  shard wake fronts, cache boundaries) never travel through the dispatch
+  loop at all.  :meth:`~repro.simcore.events.Timeout.cancel` does the same
+  for timeout events.  Dead entries are skipped lazily on pop and swept in
+  bulk once they outnumber the live population.
+* **Same-timestamp batch dispatch.** :meth:`step` drains *every* event at
+  the head timestamp in one pass: one clock write, one perf bump of ``n``,
+  and a FIFO "lane" for events scheduled at the current timestamp *during*
+  the batch (delay-0 completions, coordination rounds) so coincident waves
+  never re-enter the heap.
+* **Pluggable queue backends.** ``Simulator(queue="heap")`` (default) keeps
+  the binary heap; ``queue="calendar"`` swaps in the bucketed
+  :class:`~repro.simcore.calqueue.CalendarQueue` for timer-heavy regimes;
+  ``queue="oracle"`` preserves the original one-event-per-pop dispatch loop
+  as a cross-checked baseline.  All three consume insertion ids from the
+  same counter and dispatch in identical ``(time, insertion id)`` order, so
+  decision logs and finish times are bit-equal across backends.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
+import os
 from itertools import count
 from typing import Any, Callable, Generator, Optional
 
+from .calqueue import CalendarQueue
 from .errors import SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "Timer"]
+
+_QUEUE_BACKENDS = ("heap", "calendar", "oracle")
+
+#: Sweep dead entries once at least this many are queued *and* they
+#: outnumber the live population (amortized O(1) per cancellation).  The
+#: floor is deliberately generous: below it, dead entries are cheaper to
+#: skip lazily at pop time than to sweep, and the memory they pin is
+#: bounded by the floor itself.
+_COMPACT_MIN_DEAD = 1024
+
+
+#: Timer._eid sentinels; non-negative values are the insertion id of the
+#: timer's live queue entry.
+_FIRED = -1
+_CANCELLED = -2
+
+
+class Timer:
+    """Cancellable, re-armable handle for a ``call_at`` function.
+
+    A pure timer skips the full :class:`~repro.simcore.events.Event`
+    machinery: no callback list, no value, no failure state — just "run
+    ``fn()`` at ``when`` unless superseded".  This is the fast path for
+    the overwhelming majority of queue traffic.
+
+    Validity is tracked by insertion id: the queue entry records the id it
+    was pushed with, the handle records the id of its *live* entry, and a
+    mismatch at pop time means the entry was cancelled or superseded.
+    That makes the handle reusable — :meth:`reschedule` moves the timer
+    to a new time with one queue push and zero allocations, which is what
+    supersede-heavy call sites (completion horizons, shard wake fronts,
+    cache boundaries) do on every update.
+    """
+
+    __slots__ = ("sim", "when", "_fn", "_eid", "_pending")
+
+    def __init__(self, sim: "Simulator", when: float,
+                 fn: Callable[[], None]):
+        self.sim = sim
+        #: Absolute simulated time the timer fires at.
+        self.when = when
+        self._fn: Callable[[], None] = fn
+        self._eid = _FIRED  # not queued yet; call_at installs the live id
+        self._pending = False  # push deferred until the current batch ends
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is still scheduled to fire."""
+        return self._eid >= 0
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called (and not re-armed)."""
+        return self._eid == _CANCELLED
+
+    def cancel(self) -> bool:
+        """Deadmark the timer so it never fires.
+
+        Returns True if the timer was still pending, False if it already
+        fired or was already cancelled.  The queue entry is skipped lazily
+        on pop (or swept by compaction) — cancellation itself is O(1) and
+        call-free on the hot path: the ``timers_cancelled`` perf bump
+        happens when the dead entry is retired, not here.
+        """
+        if self._eid < 0:
+            return False
+        self._eid = _CANCELLED
+        sim = self.sim
+        if self._pending:
+            # The push was still deferred — no queue entry exists to
+            # deadmark, so the retirement is counted on the spot.
+            self._pending = False
+            if sim.perf is not None:
+                sim.perf.bump("timers_cancelled")
+            return True
+        sim._dead += 1
+        if sim._dead >= _COMPACT_MIN_DEAD:
+            sim._maybe_compact()
+        return True
+
+    def reschedule(self, when: float) -> "Timer":
+        """Move the timer to fire at ``when`` instead; returns ``self``.
+
+        Works whether the timer is pending (the old entry is superseded
+        and counted as cancelled), already fired (the handle is re-armed)
+        or cancelled.  Exactly one insertion id is consumed — the same as
+        the ``cancel()`` + ``call_at()`` sequence it replaces — so
+        backends stay dispatch-order identical.
+
+        Reschedules issued *during a batch* defer the queue push to the
+        end of the batch: supersede-heavy call sites routinely move the
+        same timer several times within one dispatch (a completion
+        cascade shrinking a horizon step by step), and only the last
+        target ever needs to reach the queue — the superseded
+        intermediates are retired on the spot, never pushed, never
+        popped over.  Deferral is invisible to dispatch order because a
+        mid-batch reschedule always targets the lane (``when == now``)
+        or a strictly future time.
+        """
+        sim = self.sim
+        now = sim._now
+        if when < now:
+            raise SimulationError(
+                f"reschedule({when}) is in the past (now={now})"
+            )
+        if self._eid >= 0:
+            if self._pending:
+                # Superseded before its deferred push ever reached the
+                # queue: retired on the spot.
+                if sim.perf is not None:
+                    sim.perf.bump("timers_cancelled")
+            else:
+                sim._dead += 1
+                if sim._dead >= _COMPACT_MIN_DEAD:
+                    sim._maybe_compact()
+        self.when = when
+        eid = next(sim._eid)
+        self._eid = eid
+        if sim._batching:
+            if when == now:
+                self._pending = False
+                sim._lane.append((eid, self))
+            elif not self._pending:
+                self._pending = True
+                sim._deferred.append(self)
+        elif sim._cal is not None:
+            sim._cal.push((when, eid, self))
+        else:
+            heapq.heappush(sim._queue, (when, eid, self))
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending" if self._eid >= 0
+                 else "cancelled" if self._eid == _CANCELLED else "fired")
+        return f"<Timer t={self.when:.6g} {state}>"
+
+
+class _EventTimer:
+    """``call_at`` handle for the oracle backend: wraps the full Event.
+
+    Presents the same ``cancel()``/``active`` surface as :class:`Timer`
+    so call sites are backend-agnostic; the underlying event is deadmarked
+    through the simulator's cancelled-event set.
+    """
+
+    __slots__ = ("sim", "when", "event", "_fn")
+
+    def __init__(self, sim: "Simulator", when: float, event: Event,
+                 fn: Callable[[], None]):
+        self.sim = sim
+        self.when = when
+        self.event = event
+        self._fn = fn
+
+    @property
+    def cancelled(self) -> bool:
+        return self.event in self.sim._cancelled_events
+
+    @property
+    def active(self) -> bool:
+        return not self.event.processed and not self.cancelled
+
+    def cancel(self) -> bool:
+        return self.sim._cancel_event(self.event)
+
+    def reschedule(self, when: float) -> "_EventTimer":
+        sim = self.sim
+        now = sim._now
+        if when < now:
+            raise SimulationError(
+                f"reschedule({when}) is in the past (now={now})"
+            )
+        sim._cancel_event(self.event)  # no-op if it already fired
+        ev = Event(sim)
+        ev._ok = True
+        ev._value = None
+        sim._schedule(ev, when - now)
+        fn = self._fn
+        ev.callbacks.append(lambda _ev: fn())
+        self.event = ev
+        self.when = when
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventTimer t={self.when:.6g}>"
 
 
 class Simulator:
     """Discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters`; when set, dispatch
+        bumps ``events_processed`` (plus ``events_coincident``,
+        ``timer_fastpath_hits`` and ``timers_cancelled``).
+    queue:
+        Queue backend — ``"heap"`` (default), ``"calendar"`` or
+        ``"oracle"``.  ``None`` reads the ``REPRO_SIM_QUEUE`` environment
+        variable (defaulting to ``"heap"``), which is how experiment
+        drivers flip the whole platform onto the calendar backend.
 
     Examples
     --------
@@ -35,13 +262,42 @@ class Simulator:
     3.0
     """
 
-    def __init__(self, start_time: float = 0.0, perf=None):
+    def __init__(self, start_time: float = 0.0, perf=None,
+                 queue: Optional[str] = None):
+        if queue is None:
+            queue = os.environ.get("REPRO_SIM_QUEUE", "heap") or "heap"
+        if queue not in _QUEUE_BACKENDS:
+            raise SimulationError(
+                f"unknown queue backend {queue!r}; pick one of "
+                f"{_QUEUE_BACKENDS}"
+            )
+        #: Which queue backend this simulator dispatches from.
+        self.queue_backend = queue
         self._now = float(start_time)
         self._queue: list = []
+        self._cal: Optional[CalendarQueue] = (
+            CalendarQueue() if queue == "calendar" else None
+        )
+        self._oracle = queue == "oracle"
         self._eid = count()
+        #: FIFO of (eid, obj) scheduled at the current batch timestamp
+        #: while a batch is dispatching; merged with the queue by eid.
+        self._lane: list = []
+        #: Timers rescheduled to a future time during a batch; their queue
+        #: push is deferred to the batch end so same-batch supersedes
+        #: never touch the queue at all (see :meth:`Timer.reschedule`).
+        self._deferred: list = []
+        self._batching = False
+        #: Number of deadmarked (cancelled) entries still in the queue.
+        #: The ``timers_cancelled`` counter is bumped when dead entries are
+        #: *retired* (lazily popped or swept), keeping cancellation itself
+        #: free of perf bookkeeping; totals match once the queue drains.
+        self._dead = 0
+        #: Cancelled Event objects (Timeouts, oracle call_at events) still
+        #: queued — kept out of Event.__slots__ so the Event stays lean.
+        self._cancelled_events: set = set()
         self._active_process: Optional[Process] = None
-        #: Optional :class:`~repro.perf.PerfCounters`; when set, every
-        #: processed event bumps ``events_processed``.
+        #: Optional :class:`~repro.perf.PerfCounters`; see class docstring.
         self.perf = perf
 
     # -- clock ---------------------------------------------------------------
@@ -61,7 +317,11 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers ``delay`` seconds from now."""
+        """Create an event that triggers ``delay`` seconds from now.
+
+        The returned :class:`~repro.simcore.events.Timeout` has a
+        ``cancel()`` method; see its docstring for the contract.
+        """
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -79,47 +339,421 @@ class Simulator:
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+            raise SimulationError(
+                f"cannot schedule into the past: delay={delay} targets "
+                f"t={self._now + delay} (now={self._now})"
+            )
+        if delay == 0.0 and self._batching:
+            self._lane.append((next(self._eid), event))
+        elif self._cal is not None:
+            self._cal.push((self._now + delay, next(self._eid), event))
+        else:
+            heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+    def call_at(self, when: float, fn: Callable[[], None]) -> "Timer":
         """Run ``fn()`` at absolute simulated time ``when``.
 
-        Returns the underlying event (can be inspected but not cancelled;
-        use a generation counter in ``fn`` if cancellation is needed).
+        Returns a :class:`Timer` handle; call its ``cancel()`` to stop the
+        timer from firing (the queue entry is deadmarked and skipped, so a
+        cancelled timer costs nothing at dispatch time — no generation
+        counter needed).  On the oracle backend the handle wraps a full
+        event but presents the same ``cancel()``/``active`` surface.
         """
-        if when < self._now:
+        now = self._now
+        if when < now:
             raise SimulationError(
-                f"call_at({when}) is in the past (now={self._now})"
+                f"call_at({when}) is in the past (now={now})"
             )
-        ev = Event(self)
-        ev._ok = True
-        ev._value = None
-        self._schedule(ev, when - self._now)
-        ev.callbacks.append(lambda _ev: fn())
-        return ev
+        if self._oracle:
+            ev = Event(self)
+            ev._ok = True
+            ev._value = None
+            self._schedule(ev, when - now)
+            ev.callbacks.append(lambda _ev: fn())
+            return _EventTimer(self, when, ev, fn)
+        # Inline construction: call_at is the hottest allocation site in
+        # timer-churn regimes, and skipping the __init__ frame is worth it.
+        timer = Timer.__new__(Timer)
+        timer.sim = self
+        timer.when = when
+        timer._fn = fn
+        timer._pending = False
+        eid = next(self._eid)
+        timer._eid = eid
+        if when == now and self._batching:
+            self._lane.append((eid, timer))
+        elif self._cal is not None:
+            self._cal.push((when, eid, timer))
+        else:
+            heapq.heappush(self._queue, (when, eid, timer))
+        return timer
+
+    # -- cancellation bookkeeping ---------------------------------------------
+    def _cancel_event(self, event: Event) -> bool:
+        """Deadmark a queued event (Timeout / oracle call_at) — see
+        :meth:`Timer.cancel` for the contract."""
+        if event.callbacks is None or event in self._cancelled_events:
+            return False
+        self._cancelled_events.add(event)
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD:
+            self._maybe_compact()
+        return True
+
+    def _maybe_compact(self) -> None:
+        """Sweep deadmarked entries once they outnumber live ones."""
+        dead = self._dead
+        if dead < _COMPACT_MIN_DEAD:
+            return
+        cancelled = self._cancelled_events
+        if self._cal is not None:
+            if dead * 2 > len(self._cal):
+                def _is_dead(entry, cancelled=cancelled):
+                    obj = entry[2]
+                    if type(obj) is Timer:
+                        return obj._eid != entry[1]
+                    if obj in cancelled:
+                        cancelled.discard(obj)
+                        return True
+                    return False
+                removed = self._cal.compact(_is_dead)
+                self._dead -= removed
+                if removed and self.perf is not None:
+                    self.perf.bump("timers_cancelled", removed)
+            return
+        queue = self._queue
+        if dead * 2 <= len(queue):
+            return
+        live = []
+        removed = 0
+        for entry in queue:
+            obj = entry[2]
+            if type(obj) is Timer:
+                if obj._eid != entry[1]:
+                    removed += 1
+                    continue
+            elif obj in cancelled:
+                cancelled.discard(obj)
+                removed += 1
+                continue
+            live.append(entry)
+        queue[:] = live
+        heapq.heapify(queue)
+        self._dead -= removed
+        if removed and self.perf is not None:
+            self.perf.bump("timers_cancelled", removed)
+
+    def _flush_deferred(self) -> None:
+        """Push batch-deferred timer entries into the queue.
+
+        Called at the end of every batch (and defensively from
+        :meth:`peek`, for model code that inspects the queue mid-batch).
+        Only the *final* target of each timer rescheduled during the
+        batch reaches the queue; superseded intermediates were already
+        retired by :meth:`Timer.reschedule` / :meth:`Timer.cancel`.
+        """
+        deferred = self._deferred
+        cal = self._cal
+        queue = self._queue
+        for t in deferred:
+            if t._pending:
+                t._pending = False
+                if cal is not None:
+                    cal.push((t.when, t._eid, t))
+                else:
+                    heapq.heappush(queue, (t.when, t._eid, t))
+        del deferred[:]
 
     # -- execution ----------------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next *live* event, or ``inf`` if none is queued.
+
+        Deadmarked (cancelled) heads are discarded on the way — the clock
+        never advances for a cancelled entry on any backend.
+        """
+        if self._deferred:
+            self._flush_deferred()
+        cancelled = self._cancelled_events
+        dead = 0
+        try:
+            if self._cal is not None:
+                cal = self._cal
+                while True:
+                    entry = cal.min_entry()
+                    if entry is None:
+                        return math.inf
+                    obj = entry[2]
+                    if type(obj) is Timer:
+                        if obj._eid == entry[1]:
+                            return entry[0]
+                    elif obj in cancelled:
+                        cal.pop_min()
+                        cancelled.discard(obj)
+                        dead += 1
+                        continue
+                    else:
+                        return entry[0]
+                    cal.pop_min()
+                    dead += 1
+            queue = self._queue
+            while queue:
+                head = queue[0]
+                obj = head[2]
+                if type(obj) is Timer:
+                    if obj._eid == head[1]:
+                        return head[0]
+                elif obj in cancelled:
+                    heapq.heappop(queue)
+                    cancelled.discard(obj)
+                    dead += 1
+                    continue
+                else:
+                    return head[0]
+                heapq.heappop(queue)
+                dead += 1
+            return math.inf
+        finally:
+            if dead:
+                self._dead -= dead
+                if self.perf is not None:
+                    self.perf.bump("timers_cancelled", dead)
 
     def step(self) -> None:
-        """Process exactly one event."""
-        try:
-            when, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise SimulationError("step() on an empty event queue") from None
+        """Dispatch the whole batch of events at the head timestamp.
+
+        All events carrying the earliest scheduled time are drained in one
+        pass — one clock write, one ``events_processed`` bump of ``n`` —
+        in ``(time, insertion id)`` order.  Events scheduled *at the batch
+        timestamp* from inside a callback (delay-0 completions) join the
+        same batch through a FIFO lane without re-entering the queue.  On
+        the oracle backend this processes exactly one event, preserving
+        the original dispatch loop as a cross-checked baseline.
+        """
+        if self._oracle:
+            self._step_oracle()
+            return
+        # The internal batch dispatchers return quietly on an empty queue
+        # (that lets run() drive them in a tight loop); the public single
+        # step keeps the loud contract.
+        if self.peek() == math.inf:
+            raise SimulationError("step() on an empty event queue")
+        if self._cal is not None:
+            self._step_calendar()
+        else:
+            self._step_heap()
+
+    def _step_oracle(self) -> None:
+        # The seed dispatch loop: one pop, one event, per-event perf bump.
+        cancelled = self._cancelled_events
+        dead = 0
+        while True:
+            try:
+                when, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise SimulationError("step() on an empty event queue") from None
+            if cancelled and event in cancelled:
+                cancelled.discard(event)
+                dead += 1
+                continue
+            break
         self._now = when
+        if dead:
+            self._dead -= dead
         if self.perf is not None:
+            if dead:
+                self.perf.bump("timers_cancelled", dead)
             self.perf.bump("events_processed")
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:
             # A failure nobody handled: abort the run loudly.
-            exc = event._value
-            raise exc
+            raise event._value
+
+    def _step_heap(self) -> None:
+        queue = self._queue
+        pop = heapq.heappop
+        cancelled = self._cancelled_events
+        dead = 0
+        while True:
+            if not queue:
+                if dead:
+                    self._dead -= dead
+                    if self.perf is not None:
+                        self.perf.bump("timers_cancelled", dead)
+                return
+            when, eid, obj = pop(queue)
+            if type(obj) is Timer:
+                if obj._eid != eid:
+                    dead += 1
+                    continue
+            elif cancelled and obj in cancelled:
+                cancelled.discard(obj)
+                dead += 1
+                continue
+            break
+        self._now = when
+        lane = self._lane
+        li = 0
+        n = 0
+        fast = 0
+        fired = _FIRED
+        # During a batch no new queue entry can land at `when` (delay-0
+        # traffic goes to the lane), so the head-at-batch-time flag only
+        # changes when we pop — no per-member head re-inspection needed.
+        head_at_when = bool(queue) and queue[0][0] == when
+        self._batching = True
+        try:
+            while True:
+                if type(obj) is Timer:
+                    if obj._eid != eid:
+                        dead += 1
+                    else:
+                        obj._eid = fired
+                        n += 1
+                        fast += 1
+                        obj._fn()
+                elif cancelled and obj in cancelled:
+                    cancelled.discard(obj)
+                    dead += 1
+                else:
+                    n += 1
+                    callbacks, obj.callbacks = obj.callbacks, None
+                    for cb in callbacks:
+                        cb(obj)
+                    if not obj._ok and not obj._defused:
+                        raise obj._value
+                # Next batch member: merge the queue head with the delay-0
+                # lane, smallest insertion id first.
+                if li < len(lane):
+                    if head_at_when and queue[0][1] < lane[li][0]:
+                        _, eid, obj = pop(queue)
+                        head_at_when = bool(queue) and queue[0][0] == when
+                    else:
+                        eid, obj = lane[li]
+                        li += 1
+                elif head_at_when:
+                    _, eid, obj = pop(queue)
+                    head_at_when = bool(queue) and queue[0][0] == when
+                else:
+                    break
+        finally:
+            self._batching = False
+            if self._deferred:
+                self._flush_deferred()
+            if dead:
+                self._dead -= dead
+            if li:
+                del lane[:li]
+            if lane:
+                # Aborted mid-batch (failure / StopSimulation): whatever is
+                # still in the lane goes back into the queue, eids intact.
+                for leid, lobj in lane:
+                    heapq.heappush(queue, (when, leid, lobj))
+                del lane[:]
+            perf = self.perf
+            if perf is not None:
+                if dead:
+                    perf.bump("timers_cancelled", dead)
+                if n:
+                    perf.bump("events_processed", n)
+                    if n > 1:
+                        perf.bump("events_coincident", n - 1)
+                    if fast:
+                        perf.bump("timer_fastpath_hits", fast)
+
+    def _step_calendar(self) -> None:
+        cal = self._cal
+        cancelled = self._cancelled_events
+        dead = 0
+        while True:
+            entry = cal.pop_min()
+            if entry is None:
+                if dead:
+                    self._dead -= dead
+                    if self.perf is not None:
+                        self.perf.bump("timers_cancelled", dead)
+                return
+            obj = entry[2]
+            eid = entry[1]
+            if type(obj) is Timer:
+                if obj._eid != eid:
+                    dead += 1
+                    continue
+            elif cancelled and obj in cancelled:
+                cancelled.discard(obj)
+                dead += 1
+                continue
+            break
+        when = entry[0]
+        self._now = when
+        lane = self._lane
+        li = 0
+        n = 0
+        fast = 0
+        fired = _FIRED
+        head = cal.min_entry()
+        head_at_when = head is not None and head[0] == when
+        head_eid = head[1] if head_at_when else -1
+        self._batching = True
+        try:
+            while True:
+                if type(obj) is Timer:
+                    if obj._eid != eid:
+                        dead += 1
+                    else:
+                        obj._eid = fired
+                        n += 1
+                        fast += 1
+                        obj._fn()
+                elif cancelled and obj in cancelled:
+                    cancelled.discard(obj)
+                    dead += 1
+                else:
+                    n += 1
+                    callbacks, obj.callbacks = obj.callbacks, None
+                    for cb in callbacks:
+                        cb(obj)
+                    if not obj._ok and not obj._defused:
+                        raise obj._value
+                if li < len(lane):
+                    if head_at_when and head_eid < lane[li][0]:
+                        _, eid, obj = cal.pop_min()
+                        head = cal.min_entry()
+                        head_at_when = head is not None and head[0] == when
+                        head_eid = head[1] if head_at_when else -1
+                    else:
+                        eid, obj = lane[li]
+                        li += 1
+                elif head_at_when:
+                    _, eid, obj = cal.pop_min()
+                    head = cal.min_entry()
+                    head_at_when = head is not None and head[0] == when
+                    head_eid = head[1] if head_at_when else -1
+                else:
+                    break
+        finally:
+            self._batching = False
+            if self._deferred:
+                self._flush_deferred()
+            if dead:
+                self._dead -= dead
+            if li:
+                del lane[:li]
+            if lane:
+                for leid, lobj in lane:
+                    cal.push((when, leid, lobj))
+                del lane[:]
+            perf = self.perf
+            if perf is not None:
+                if dead:
+                    perf.bump("timers_cancelled", dead)
+                if n:
+                    perf.bump("events_processed", n)
+                    if n > 1:
+                        perf.bump("events_coincident", n - 1)
+                    if fast:
+                        perf.bump("timer_fastpath_hits", fast)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -133,10 +767,10 @@ class Simulator:
             value (raising its exception if it failed).
         """
         if until is None:
-            stop_at = float("inf")
+            stop_at = math.inf
             stop_event = None
         elif isinstance(until, Event):
-            stop_at = float("inf")
+            stop_at = math.inf
             stop_event = until
 
             def _stop(ev: Event) -> None:
@@ -157,8 +791,33 @@ class Simulator:
             stop_event = None
 
         try:
-            while self._queue and self.peek() <= stop_at:
-                self.step()
+            if stop_at == math.inf and not self._oracle:
+                # Tight drive: the batch dispatchers return quietly when
+                # the queue empties, so the loop needs no per-batch
+                # peek()/step() indirection.
+                if self._cal is not None:
+                    cal = self._cal
+                    dispatch = self._step_calendar
+                    while len(cal):
+                        dispatch()
+                else:
+                    queue = self._queue
+                    dispatch = self._step_heap
+                    while queue:
+                        dispatch()
+            else:
+                while True:
+                    t = self.peek()
+                    if t == math.inf or t > stop_at:
+                        break
+                    # peek() already discarded dead heads, so the internal
+                    # dispatchers can be driven directly.
+                    if self._oracle:
+                        self._step_oracle()
+                    elif self._cal is not None:
+                        self._step_calendar()
+                    else:
+                        self._step_heap()
         except StopSimulation as stop:
             ev = stop.value
             if not ev._ok:
@@ -174,4 +833,7 @@ class Simulator:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.6g} queued={len(self._queue)}>"
+        queued = len(self._cal) if self._cal is not None else len(self._queue)
+        queued += len(self._lane)
+        return (f"<Simulator t={self._now:.6g} queued={queued} "
+                f"backend={self.queue_backend}>")

@@ -157,12 +157,27 @@ class Timeout(Event):
 
     def __init__(self, sim, delay: float, value: Any = None):
         if delay < 0:
-            raise SimulationError(f"negative timeout delay {delay!r}")
+            raise SimulationError(
+                f"negative timeout delay {delay!r} targets "
+                f"t={sim.now + delay} (now={sim.now})"
+            )
         super().__init__(sim)
         self.delay = delay
         self._ok = True
         self._value = value
         sim._schedule(self, delay)
+
+    def cancel(self) -> bool:
+        """Deadmark the timeout so it never fires its callbacks.
+
+        Returns True if the timeout was still queued, False if it already
+        processed (or was already cancelled).  The queue entry is skipped
+        lazily at dispatch — same contract as
+        :meth:`~repro.simcore.engine.Timer.cancel`.  A cancelled timeout
+        never reaches the *processed* state, so anything waiting on it
+        waits forever; cancel only timeouts you own exclusively.
+        """
+        return self.sim._cancel_event(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Timeout delay={self.delay} at {hex(id(self))}>"

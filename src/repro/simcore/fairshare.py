@@ -104,7 +104,7 @@ import heapq
 import math
 from itertools import count
 from typing import (
-    Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple,
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple,
 )
 
 from .engine import Simulator
@@ -115,6 +115,10 @@ __all__ = ["FluidLink", "FluidFlow", "FlowNetwork"]
 
 #: Flows with fewer remaining bytes than this are considered complete.
 _EPS_BYTES = 1e-6
+
+#: ``FluidFlow._outcome`` sentinel: the flow has not completed or been
+#: cancelled yet (distinguishes "running" from "cancelled with value None").
+_UNFINISHED = object()
 
 #: Relative margin for replayed-step verification against links whose
 #: unfixed-weight sum is maintained incrementally (exact left-to-right
@@ -220,7 +224,11 @@ class FluidFlow:
     done:
         Event that triggers (with this flow as value) when the last byte is
         delivered, or with ``None`` if the flow is cancelled without an
-        exception (see :meth:`FlowNetwork.cancel_flow`).
+        exception (see :meth:`FlowNetwork.cancel_flow`).  Created lazily on
+        first access: flows nobody waits on never allocate (or dispatch) a
+        completion event, which is what keeps 10^6-flow bursts affordable.
+        Accessing ``done`` after the flow already completed returns an
+        event synthesized directly in the *processed* state.
     weight:
         Max-min weight.  An application writing from ``N`` processes can be
         modelled as one flow of weight ``N``, which yields the same
@@ -230,19 +238,22 @@ class FluidFlow:
     """
 
     __slots__ = (
-        "size", "remaining", "weight", "cap", "path", "done", "paused",
+        "size", "remaining", "weight", "cap", "path", "paused",
         "start_time", "finish_time", "rate", "label",
+        "_sim", "_done", "_outcome",
         "_seq", "_synced", "_gen", "_comp", "_vec", "_vidx",
     )
 
-    def __init__(self, size: float, path: Sequence[FluidLink], weight: float,
-                 cap: Optional[float], done: Event, label: str):
+    def __init__(self, sim, size: float, path: Sequence[FluidLink],
+                 weight: float, cap: Optional[float], label: str):
         self.size = float(size)
         self.remaining = float(size)
         self.weight = float(weight)
         self.cap = cap
         self.path = tuple(path)
-        self.done = done
+        self._sim = sim
+        self._done: Optional[Event] = None
+        self._outcome: Any = _UNFINISHED
         self.paused = False
         self.start_time: float = math.nan
         self.finish_time: float = math.nan
@@ -254,6 +265,25 @@ class FluidFlow:
         self._comp: Optional["_Component"] = None  #: owner of the live heap entry
         self._vec = None         #: VecState holding this flow's row (vectorized)
         self._vidx = -1          #: row index within ``_vec``
+
+    @property
+    def done(self) -> Event:
+        """Completion event, created on first access.
+
+        Succeeds with the flow itself on completion, with ``None`` on
+        cancellation (see :meth:`FlowNetwork.cancel_flow`).  If the flow
+        already finished before the first access, the event is returned
+        directly in the *processed* state — its dispatch moment has passed.
+        """
+        ev = self._done
+        if ev is None:
+            ev = Event(self._sim)
+            if self._outcome is not _UNFINISHED:
+                ev._ok = True
+                ev._value = self._outcome
+                ev.callbacks = None
+            self._done = ev
+        return ev
 
     @property
     def elapsed(self) -> float:
@@ -399,8 +429,8 @@ class FlowNetwork:
         self._comp_index: List[Tuple[float, int, int, _Component]] = []
         self._comp_seq = count()
         self._ncomps = 0
-        self._wake_generation = 0
         self._wake_at: Optional[float] = None
+        self._wake_timer = None  #: pending engine Timer for the next wake
 
     # -- public API ----------------------------------------------------------
     def _register_flow(self, size: float, path: Iterable[FluidLink],
@@ -423,8 +453,7 @@ class FlowNetwork:
                 link.network = self
             elif link.network is not self:
                 raise SimulationError(f"{link!r} belongs to a different network")
-        done = self.sim.event()
-        flow = FluidFlow(size, path, weight, cap, done, label)
+        flow = FluidFlow(self.sim, size, path, weight, cap, label)
         flow.start_time = self.sim.now
         flow._synced = self.sim.now
         flow._seq = next(self._seq)
@@ -435,7 +464,7 @@ class FlowNetwork:
             flow.finish_time = self.sim.now
             if self.perf is not None:
                 self.perf.bump("flow_completions")
-            done.succeed(flow)
+            flow._outcome = flow
             return flow
         self._flows[flow] = None
         for link in flow.path:
@@ -543,11 +572,18 @@ class FlowNetwork:
         flow.rate = 0.0
         if self._vec is not None:
             self._vec.drop(flow)
-        if not flow.done.triggered:
+        ev = flow._done
+        if exc is not None and ev is None:
+            # A failure must travel the event queue so an unhandled one
+            # still aborts the run — materialize the event before the
+            # outcome is recorded.
+            ev = flow.done
+        flow._outcome = None
+        if ev is not None and not ev.triggered:
             if exc is not None:
-                flow.done.fail(exc)
+                ev.fail(exc)
             else:
-                flow.done.succeed(None)
+                ev.succeed(None)
         self._mark_dirty(flow.path)
         self._reallocate()
 
@@ -988,7 +1024,10 @@ class FlowNetwork:
         f.finish_time = now
         if self.perf is not None:
             self.perf.bump("flow_completions")
-        f.done.succeed(f)
+        f._outcome = f
+        ev = f._done
+        if ev is not None and not ev.triggered:
+            ev.succeed(f)
 
     def _refill_component(self, flows: List[FluidFlow], links: Set[FluidLink],
                           now: float) -> None:
@@ -1219,17 +1258,18 @@ class FlowNetwork:
             target = now + math.ulp(now if now > 0 else 1.0)
         if self._wake_at is not None and self._wake_at <= target:
             return  # an earlier (or equal) wake is already pending
-        self._wake_generation += 1
-        gen = self._wake_generation
         self._wake_at = target
+        timer = self._wake_timer
+        if timer is not None:
+            # Supersede the pending wake (or re-arm the fired handle) in
+            # place: one queue push, no allocation.
+            timer.reschedule(target)
+        else:
+            self._wake_timer = self.sim.call_at(target, self._wake_fired)
 
-        def _wake() -> None:
-            if gen != self._wake_generation:
-                return  # superseded by an earlier wake scheduled later
-            self._wake_at = None
-            self._on_wake()
-
-        self.sim.call_at(target, _wake)
+    def _wake_fired(self) -> None:
+        self._wake_at = None
+        self._on_wake()
 
     def _on_wake(self) -> None:
         """Handle the earliest completion horizon(s) reaching the clock."""

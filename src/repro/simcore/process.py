@@ -12,6 +12,13 @@ into the generator at the current simulation time, detaching it from whatever
 event it was waiting on.  The process may re-wait on that event afterwards
 (its reference is available as :attr:`Process.target` before the interrupt).
 This is the low-level mechanism behind CALCioM's interruption strategy.
+
+The detached event is deliberately *not* cancelled: the interrupted process
+(or anyone else holding a reference) may still re-wait on it, pass it to
+``run(until=...)``, or compose it into a condition.  Its later dispatch with
+an emptied callback list is a cheap no-op under the batch dispatcher —
+cancellation is reserved for timers the canceller exclusively owns (see
+:meth:`~repro.simcore.engine.Timer.cancel`).
 """
 
 from __future__ import annotations

@@ -77,7 +77,7 @@ class WriteBackCache:
         self.throttled = False
         self._last_time = sim.now
         self._inflow = 0.0
-        self._gen = 0
+        self._boundary_timer = None  #: pending engine Timer for the next wake
         self.dirty_series: Optional[TimeSeries] = (
             TimeSeries("dirty_bytes") if record else None
         )
@@ -118,8 +118,11 @@ class WriteBackCache:
 
     def _schedule_boundary(self) -> None:
         """Wake exactly when the dirty level will next cross a threshold."""
-        self._gen += 1
-        gen = self._gen
+        # Whatever happens below, the previously-armed boundary is stale:
+        # the rates (and therefore the crossing time) just changed.
+        timer = self._boundary_timer
+        if timer is not None:
+            timer.cancel()
         net_rate = self._inflow - self.drain_bandwidth
         if net_rate > _EPS and not self.throttled:
             target = self.capacity
@@ -139,14 +142,15 @@ class WriteBackCache:
             # Below float resolution: nudge one ulp so the wake advances.
             target = now + math.ulp(now if now > 0 else 1.0)
 
-        def _wake() -> None:
-            if gen != self._gen:
-                return
-            self._advance()
-            self._apply_mode()
-            self._schedule_boundary()
+        if timer is not None:
+            timer.reschedule(target)  # reuse the handle: cancelled or fired
+        else:
+            self._boundary_timer = self.sim.call_at(target, self._boundary_fired)
 
-        self.sim.call_at(target, _wake)
+    def _boundary_fired(self) -> None:
+        self._advance()
+        self._apply_mode()
+        self._schedule_boundary()
 
     # -- inspection ------------------------------------------------------------
     @property

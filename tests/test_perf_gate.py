@@ -355,3 +355,62 @@ def test_custom_factor_and_unknown_kind():
     assert ok
     with pytest.raises(ValueError, match="unknown benchmark kind"):
         check_perf_regression(fresh, committed, "frobnicator")
+
+
+def sim_record(speedups_by_scale, slots=64):
+    return {
+        "dispatch": {
+            "benchmark": "scale_sim_dispatch",
+            "config": {"slots": slots, "churn": 8, "wave_width": 512,
+                       "wave_depth": 4, "seed": 1,
+                       "full_scale": max(map(int, speedups_by_scale)) >= 10**6,
+                       "scales": sorted(speedups_by_scale, key=float)},
+            "scales": {
+                scale: {"oracle_wall": 1.0 * speedup, "heap_wall": 1.0,
+                        "speedup": speedup}
+                for scale, speedup in speedups_by_scale.items()
+            },
+            "identical_decision_logs": True,
+        },
+    }
+
+
+def test_sim_gate_uses_largest_common_scale():
+    committed = sim_record({"10000": 2.1, "100000": 2.8, "1000000": 3.4})
+    # Reduced smoke config: compare at the largest scale both sides ran.
+    fresh_ok = sim_record({"10000": 2.0, "100000": 2.7})
+    ok, msg = check_perf_regression(fresh_ok, committed, "sim")
+    assert ok and "sim-dispatch@100000" in msg
+    fresh_bad = sim_record({"10000": 2.0, "100000": 1.1})
+    ok, msg = check_perf_regression(fresh_bad, committed, "sim")
+    assert not ok and "sim-dispatch@100000" in msg
+
+
+def test_sim_gate_skips_loudly_on_one_sided_regime():
+    """A BENCH_sim.json that predates (or postdates) the dispatch regime
+    on one side must skip with a note, not KeyError."""
+    committed = sim_record({"1000000": 3.4})
+    fresh = {"dispatch": {}}
+    ok, msg = check_perf_regression(fresh, committed, "sim")
+    assert ok and "sim-dispatch" in msg and "lacks the regime" in msg
+    ok, msg = check_perf_regression(committed, fresh, "sim")
+    assert ok and "sim-dispatch" in msg and "lacks the regime" in msg
+    ok, msg = check_perf_regression({"dispatch": {}}, {"dispatch": {}}, "sim")
+    assert ok and "neither record has the regime" in msg
+
+
+def test_sim_gate_skips_on_mismatches():
+    committed = sim_record({"1000000": 3.4})
+    # Disjoint scales: nothing comparable.
+    ok, msg = check_perf_regression(sim_record({"10000": 2.0}),
+                                    committed, "sim")
+    assert ok and "share no scale" in msg
+    # Differing workload shape: speedups are not comparable.
+    ok, msg = check_perf_regression(sim_record({"1000000": 1.0}, slots=8),
+                                    committed, "sim")
+    assert ok and "workload parameters differ" in msg
+    # Scale list / full_scale flag alone must NOT trip the config check —
+    # that is exactly what a reduced CI smoke run looks like.
+    fresh = sim_record({"10000": 2.0, "1000000": 3.3})
+    ok, msg = check_perf_regression(fresh, committed, "sim")
+    assert ok and "sim-dispatch@1000000" in msg
