@@ -15,7 +15,9 @@ record's *achieved speedup* (optimized path vs retained oracle, measured
 within one run on one machine — hardware-independent), failing on a
 >``factor``x collapse.  Raw wall-clock of the optimized path is printed
 as a non-fatal advisory (it catches shared slowdowns a speedup ratio
-cannot, but depends on the machine).  Exit status 1 on regression.
+cannot, but depends on the machine).  ``--kind service`` additionally
+sub-gates the codec regime (binary-vs-lockstep-JSON speedup) when both
+records carry it on the same workload.  Exit status 1 on regression.
 """
 
 import argparse
@@ -73,6 +75,18 @@ def main() -> int:
               f"{proc['speedup_wall']:.2f}x wall / "
               f"{proc['speedup_cpu']:.2f}x cpu on "
               f"{proc['config']['cores']} core(s)")
+    codec = (fresh.get("codec") or {}) if args.kind in ("service",
+                                                        "shard") else {}
+    if args.kind == "service" and codec:
+        print(f"     advisory (machine-dependent): binary data plane "
+              f"{float(codec['speedup']):.2f}x over lockstep JSON "
+              f"({float(codec['json_rate']):.0f} -> "
+              f"{float(codec['binary_rate']):.0f} dec/s at "
+              f"{codec['config']['nclients']} clients)")
+    elif args.kind == "shard" and codec:
+        print(f"     advisory (machine-dependent): binary shard codec "
+              f"{float(codec['speedup_wall']):.2f}x wall over JSON "
+              f"(process workers)")
     return 0 if ok else 1
 
 

@@ -36,6 +36,11 @@ asserted only when the host actually has a core per shard
 (``len(os.sched_getaffinity(0)) >= 8``) — on fewer cores the workers
 time-slice one CPU and the record still documents the honest number.
 
+A ``codec`` sub-record additionally re-runs the process-worker wave
+under the binary wire codec (vs JSON) — the router's dispatch is batched
+either way, so the pair isolates the codec on the shard data plane, with
+decision logs asserted string-identical across codecs.
+
 Reduced configurations for CI smoke runs come from the environment:
 ``SCALE_SHARD_APPS`` (comma-separated scales, default "500,1000,2000")
 and ``SCALE_SHARD_PROC_APPS`` (process-regime scale, default "2000").
@@ -43,6 +48,7 @@ The >= 3x assertions only apply at full scale (>= 1000 applications for
 the algorithmic regime, >= 2000 for the wall-clock regime).
 """
 
+import gc
 import json
 import math
 import os
@@ -54,6 +60,7 @@ from repro.core import (
     AccessDescriptor, Arbiter, CpuSecondsWasted, FCFSStrategy, ShardRouter,
 )
 from repro.perf import PerfCounters
+from repro.service.protocol import decisions_to_json
 from repro.simcore import Simulator
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -152,6 +159,10 @@ def _drive(napps: int, nshards=None):
     partitions onto shards modulo the shard count; with one shard — or a
     bare arbiter — everything lands on a single decision point).
     """
+    # Flush garbage left by earlier tests in the same session (closed
+    # sockets, event loops) so their finalizers and gen-2 scans don't
+    # land inside the timed decision loop and skew the speedup ratio.
+    gc.collect()
     rng = np.random.default_rng(SEED)
     t_alone = rng.uniform(0.9, 1.1, size=napps)
 
@@ -188,8 +199,11 @@ def _drive(napps: int, nshards=None):
     return perf.as_dict(), list(coord.decision_log), done
 
 
-def _drive_wave(napps: int, workers: str) -> dict:
-    """Lockstep wave workload at ``PROC_SHARDS`` shards; returns perf dict.
+def _drive_wave(napps: int, workers: str, codec=None):
+    """Lockstep wave workload at ``PROC_SHARDS`` shards.
+
+    Returns ``(perf dict, canonical decision-log JSON)``.  ``codec``
+    selects the worker-process wire codec (ignored inline).
 
     Application ``i`` is pinned to partition ``i % PROC_SHARDS`` and
     arrives at ``(i // PROC_SHARDS) * DT_WAVE`` — one application per
@@ -198,11 +212,12 @@ def _drive_wave(napps: int, workers: str) -> dict:
     ``PROC_SHARDS`` decisions, the shape that keeps all worker processes
     busy simultaneously and makes the wall-clock comparison meaningful.
     """
+    gc.collect()
     perf = PerfCounters()
     sim = Simulator()
     coord = ShardRouter(sim, PROC_SHARDS, WaveAuditedFCFS,
                         grant_latency=1e-4, perf=perf, workers=workers,
-                        decision_log_limit=1000)
+                        decision_log_limit=1000, codec=codec)
 
     def app_proc(i):
         name = f"wave{i:04d}"
@@ -223,7 +238,7 @@ def _drive_wave(napps: int, workers: str) -> dict:
         sim.process(app_proc(i))
     sim.run()
     coord.close()
-    return perf.as_dict()
+    return perf.as_dict(), decisions_to_json(coord.decision_log)
 
 
 def _perf_record(perf: dict) -> dict:
@@ -283,8 +298,8 @@ def test_scale_shards_speedup(report):
     # shard on the lockstep wave workload (heavy audit, pipelined drains).
     cores = len(os.sched_getaffinity(0))
     proc_full_scale = PROC_APPS >= 2000
-    perf_inline = _drive_wave(PROC_APPS, "inline")
-    perf_proc = _drive_wave(PROC_APPS, "process")
+    perf_inline, log_inline = _drive_wave(PROC_APPS, "inline")
+    perf_proc, log_proc = _drive_wave(PROC_APPS, "process", codec="json")
     wall_inline = perf_inline["coord_wall_seconds"]
     wall_proc = perf_proc["coord_wall_seconds"]
     speedup_wall = (wall_inline / wall_proc) if wall_proc > 0 else math.inf
@@ -306,6 +321,30 @@ def test_scale_shards_speedup(report):
         f"{wall_proc:7.3f} s -> {speedup_wall:5.2f}x wall, "
         f"{speedup_cpu:5.2f}x cpu")
 
+    # --- Codec-comparison sub-record: the same process-worker wave run
+    # under the binary wire codec.  The router's dispatch is already
+    # batched on both sides, so this isolates the codec itself on the
+    # shard plane; decision logs must stay string-identical across
+    # codecs (and with the inline oracle).
+    perf_bin, log_bin = _drive_wave(PROC_APPS, "process", codec="binary")
+    assert log_proc == log_inline, "json process log diverged from inline"
+    assert log_bin == log_proc, "binary process log diverged from json"
+    wall_bin = perf_bin["coord_wall_seconds"]
+    codec_speedup = (wall_proc / wall_bin) if wall_bin > 0 else math.inf
+    codec = {
+        "config": {"napps": PROC_APPS, "nshards": PROC_SHARDS,
+                   "dt_wave": DT_WAVE, "phases": PHASES,
+                   "strategy": "fcfs-wave-audit", "cores": cores},
+        "json": _perf_record(perf_proc),
+        "binary": _perf_record(perf_bin),
+        "speedup_wall": round(codec_speedup, 3),
+        "identical_decision_log": True,
+    }
+    lines.append(
+        f"  codec {PROC_APPS:5d} apps x {PROC_SHARDS} shards: json "
+        f"{wall_proc:7.3f} s wall vs binary {wall_bin:7.3f} s -> "
+        f"{codec_speedup:5.2f}x (process workers)")
+
     record = {
         "benchmark": "scale_shards",
         "config": {"scales": list(SCALES), "shard_counts": list(SHARD_COUNTS),
@@ -314,6 +353,7 @@ def test_scale_shards_speedup(report):
                    "seed": SEED, "full_scale": full_scale},
         "scales": scales,
         "process": process,
+        "codec": codec,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_shard.json"

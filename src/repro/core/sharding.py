@@ -156,12 +156,17 @@ class ShardRouter:
         re-entered from scratch each attempt).  ``"hold"`` keeps the
         historical behavior of sitting on the granted prefix.  The two
         are decision-log-equivalent whenever strategies never DELAY.
+    codec:
+        Wire codec for the worker-process data plane (``"json"`` or
+        ``"binary"``); ``None`` defers to ``REPRO_WIRE_CODEC`` (JSON when
+        unset).  Ignored for inline workers, which never serialize.
     """
 
     def __init__(self, sim: Simulator, nshards: int, strategy,
                  grant_latency: float = 0.0, batched: bool = True,
                  decision_log_limit: Optional[int] = None, perf=None,
-                 workers: str = "inline", span_delay: str = "requeue"):
+                 workers: str = "inline", span_delay: str = "requeue",
+                 codec: Optional[str] = None):
         if nshards < 1:
             raise ValueError(f"nshards must be >= 1, got {nshards}")
         if workers not in ("inline", "process"):
@@ -194,7 +199,7 @@ class ShardRouter:
             self._pool = ShardProcessPool(
                 sim, self.nshards, grant_latency=grant_latency,
                 batched=batched, decision_log_limit=decision_log_limit,
-                perf=perf)
+                perf=perf, codec=codec)
             for i in range(self.nshards):
                 proxy = WorkerShardProxy(self._pool, i, _strat(),
                                          batched=batched)

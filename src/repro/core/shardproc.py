@@ -78,8 +78,9 @@ from .strategies import Action
 # the repro.core package finished initializing, so the
 # service -> server -> core import chain is safe here.
 from ..service.protocol import (
-    ProtocolError, decision_to_dict, descriptor_from_dict,
-    descriptor_to_dict, encode_message, read_frame, write_frame,
+    FrameReader, ProtocolError, WireDecoder, WireEncoder, decision_to_dict,
+    default_wire_codec, descriptor_from_dict, descriptor_to_dict,
+    encode_message, write_frame,
 )
 
 __all__ = ["ShardProcessPool", "WorkerShardProxy", "ShardWorkerError"]
@@ -100,7 +101,8 @@ _LOG_CHUNK_BYTES = 400_000
 # Worker side
 # ---------------------------------------------------------------------------
 
-def _send_reply(sock, sim: Simulator, transitions: List, **extra: Any) -> None:
+def _queue_reply(out: bytearray, encoder: WireEncoder, sim: Simulator,
+                 transitions: List, **extra: Any) -> None:
     peek = sim.peek()
     msg: Dict[str, Any] = {
         "type": "r",
@@ -108,23 +110,54 @@ def _send_reply(sock, sim: Simulator, transitions: List, **extra: Any) -> None:
         "nw": None if math.isinf(peek) else peek,
     }
     msg.update(extra)
-    write_frame(sock, msg)
+    out += encoder.encode(msg)
     del transitions[:]
 
 
 def _shard_worker_main(sock, index: int, strategy, batched: bool,
-                       decision_log_limit: Optional[int]) -> None:
-    """One shard's worker loop: read op, catch up clock, apply, reply."""
+                       decision_log_limit: Optional[int],
+                       codec: str = "json") -> None:
+    """One shard's worker loop: read op, catch up clock, apply, reply.
+
+    Replies are *buffered*: a pipelined stretch of ops (one coordination
+    wave) produces one coalesced ``sendall``, flushed only before a read
+    that would actually block on the socket — the router flushes its
+    sends before reading replies, so this never deadlocks.
+    """
     try:
         sim = Simulator()
         perf = PerfCounters()
+        encoder = WireEncoder(codec, perf=perf)
+        reader = FrameReader(sock, WireDecoder(perf=perf))
+        out = bytearray()
         arb = Arbiter(sim, strategy, grant_latency=0.0, batched=batched,
                       decision_log_limit=decision_log_limit, perf=perf)
         transitions: List = []
         arb.transition_observer = (
             lambda app, state: transitions.append((app, state.value)))
+
+        queued = [0]
+
+        def _send_reply(_sock, sim, transitions, **extra):
+            _queue_reply(out, encoder, sim, transitions, **extra)
+            queued[0] += 1
+
+        def _flush():
+            if out:
+                data = bytes(out)
+                del out[:]
+                sock.sendall(data)
+                perf.bump("wire_flushes")
+                if queued[0] > 1:
+                    perf.bump("wire_coalesced_frames", queued[0] - 1)
+                queued[0] = 0
+
         while True:
-            msg = read_frame(sock)
+            if out and not reader.has_buffered_frame():
+                # Flush-before-block: the wave is over (nothing more is
+                # parseable from the buffer), ship the coalesced replies.
+                _flush()
+            msg = reader.read_frame()
             if msg is None:
                 break
             op = msg.get("op")
@@ -171,6 +204,7 @@ def _shard_worker_main(sock, index: int, strategy, batched: bool,
                 _send_reply(sock, sim, transitions,
                             desc=None if d is None else descriptor_to_dict(d))
             elif op == "log":
+                _flush()
                 chunk: List[Dict[str, Any]] = []
                 size = 0
                 for rec in arb.decision_log:
@@ -188,6 +222,7 @@ def _shard_worker_main(sock, index: int, strategy, batched: bool,
                 _send_reply(sock, sim, transitions, perf=perf.as_dict())
             else:
                 raise ProtocolError(f"unknown op {op!r}")
+        _flush()
     except Exception as exc:  # noqa: BLE001 - ship the failure to the router
         try:
             write_frame(sock, {"type": "error",
@@ -208,12 +243,16 @@ def _shard_worker_main(sock, index: int, strategy, batched: bool,
 class _WorkerHandle:
     """One live worker: its process and the router's socket end."""
 
-    __slots__ = ("proc", "sock", "out")
+    __slots__ = ("proc", "sock", "out", "queued", "encoder", "reader")
 
-    def __init__(self, proc, sock):
+    def __init__(self, proc, sock, encoder: WireEncoder,
+                 reader: FrameReader):
         self.proc = proc
         self.sock = sock
         self.out = bytearray()   #: buffered, not-yet-sent frames
+        self.queued = 0          #: frames in ``out`` (coalescing stats)
+        self.encoder = encoder   #: router->worker, pool codec + interning
+        self.reader = reader     #: buffered reads, universal decoder
 
 
 class _Pending:
@@ -240,13 +279,17 @@ class ShardProcessPool:
 
     def __init__(self, sim: Simulator, nshards: int,
                  grant_latency: float = 0.0, batched: bool = True,
-                 decision_log_limit: Optional[int] = None, perf=None):
+                 decision_log_limit: Optional[int] = None, perf=None,
+                 codec: Optional[str] = None):
         self.sim = sim
         self.nshards = int(nshards)
         self.grant_latency = float(grant_latency)
         self.batched = bool(batched)
         self.decision_log_limit = decision_log_limit
         self.perf = perf
+        #: Wire codec for both directions; None = the process default
+        #: (``REPRO_WIRE_CODEC``, JSON when unset), resolved at pool start.
+        self.codec = codec
         self.proxies: List[WorkerShardProxy] = []
         self.handles: Optional[List[_WorkerHandle]] = None
         self.broken = False
@@ -287,6 +330,8 @@ class ShardProcessPool:
         timeout = float(os.environ.get("REPRO_SHARD_TIMEOUT", "120"))
         ctx = multiprocessing.get_context(method)
         self.start_method = method
+        if self.codec is None:
+            self.codec = default_wire_codec()
         handles: List[_WorkerHandle] = []
         try:
             for proxy in self.proxies:
@@ -294,12 +339,14 @@ class ShardProcessPool:
                 proc = ctx.Process(
                     target=_shard_worker_main,
                     args=(child, proxy.index, proxy.strategy, self.batched,
-                          self.decision_log_limit),
+                          self.decision_log_limit, self.codec),
                     daemon=True, name=f"arbiter-shard-{proxy.index}")
                 proc.start()
                 child.close()
                 parent.settimeout(timeout)
-                handles.append(_WorkerHandle(proc, parent))
+                handles.append(_WorkerHandle(
+                    proc, parent, WireEncoder(self.codec, perf=self.perf),
+                    FrameReader(parent, WireDecoder(perf=self.perf))))
         except BaseException:
             for handle in handles:
                 handle.sock.close()
@@ -387,7 +434,8 @@ class ShardProcessPool:
         assert self.handles is not None
         handle = self.handles[shard]
         msg.setdefault("type", "op")
-        handle.out += encode_message(msg)
+        handle.out += handle.encoder.encode(msg)
+        handle.queued += 1
         if len(handle.out) >= SEND_BUFFER_FLUSH:
             self._flush_handle(shard, handle)
 
@@ -395,7 +443,13 @@ class ShardProcessPool:
         if not handle.out:
             return
         data = bytes(handle.out)
+        queued = handle.queued
         del handle.out[:]
+        handle.queued = 0
+        if self.perf is not None:
+            self.perf.bump("wire_flushes")
+            if queued > 1:
+                self.perf.bump("wire_coalesced_frames", queued - 1)
         try:
             handle.sock.sendall(data)
         except OSError as exc:
@@ -410,7 +464,7 @@ class ShardProcessPool:
     def _read_reply(self, shard: int) -> Dict[str, Any]:
         assert self.handles is not None
         try:
-            msg = read_frame(self.handles[shard].sock)
+            msg = self.handles[shard].reader.read_frame()
         except (ProtocolError, OSError) as exc:
             self._fail(shard, str(exc))
         if msg is None:

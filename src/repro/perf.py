@@ -100,6 +100,41 @@ pushes), ``service_reordered_frames`` / ``service_backpressure_stalls``
 ``service_crash_withdrawals`` / ``service_abnormal_disconnects`` (crash
 semantics), ``service_protocol_errors`` and ``service_drains``.
 
+Both inter-process data planes — the service daemon and the
+``workers="process"`` shard pool — meter the wire layer
+(:mod:`repro.service.protocol`) through the ``wire_*`` family:
+
+==========================  ==================================================
+counter                     meaning
+==========================  ==================================================
+``wire_frames_encoded``     frames serialized (either codec)
+``wire_frames_decoded``     frames parsed (either codec)
+``wire_bytes_encoded``      bytes produced, length prefixes included
+``wire_bytes_decoded``      bytes consumed, length prefixes included
+``wire_encode_seconds``     host CPU spent serializing frames
+``wire_decode_seconds``     host CPU spent parsing frames
+``wire_flushes``            coalesced buffer flushes — each is one
+                            ``sendall``/``write`` syscall shipping every
+                            frame queued since the previous flush
+``wire_coalesced_frames``   frames that rode an earlier frame's flush
+                            (``n``-frame batches bump this by ``n - 1``);
+                            the mean batch size is
+                            ``1 + coalesced/flushes``
+``wire_desc_interned``      descriptors sent in full and assigned an
+                            intern id (binary codec)
+``wire_desc_refs``          descriptors sent as an id reference plus the
+                            two mutable fields — each one is a ~250-byte
+                            JSON object collapsed to ~30 bytes
+``wire_generic_frames``     binary-codec messages that fell back to the
+                            tagged canonical-JSON generic path (rare
+                            types, off-schema payloads)
+==========================  ==================================================
+
+Worker-process counters (including their ``wire_*`` side) are merged into
+the router's bag at pool close, so they land in
+``ExperimentResult.perf`` and the ops ``/metrics`` endpoint like every
+other counter.
+
 Under sharded coordination (see :mod:`repro.core.sharding`) every
 ``coord_*`` counter above stays the machine-wide total, and each arbiter
 shard additionally bumps a ``coord_*_shard<i>`` twin so per-shard load
@@ -320,19 +355,53 @@ def check_perf_regression(fresh: Mapping[str, Any],
         # Same record shape: per-scale {"speedup": ...} under "scales".
         # For the service the scale is the client count and the speedup is
         # over-the-wire decision throughput vs the in-process run.
+        notes = []
+        if kind == "service":
+            # Codec sub-record (binary vs JSON wire codec on the pipelined
+            # replay at the largest committed client count): gate the
+            # binary/JSON throughput ratio the same way the shard gate
+            # handles its process sub-record — a sub-record missing on
+            # either side, or recorded under different workload
+            # parameters, skips loudly instead of KeyError-ing.
+            fresh_codec = fresh.get("codec") or {}
+            committed_codec = committed.get("codec") or {}
+            if bool(fresh_codec) != bool(committed_codec):
+                side = "committed" if fresh_codec else "fresh"
+                notes.append(f"service-codec: {side} record lacks the "
+                             "sub-record — skipping sub-gate")
+            elif fresh_codec:
+                if (_without(fresh_codec.get("config"), ("full_scale",))
+                        != _without(committed_codec.get("config"),
+                                    ("full_scale",))):
+                    notes.append("service-codec: workload parameters "
+                                 "differ — skipping sub-gate")
+                else:
+                    fresh_c = float(fresh_codec["speedup"])
+                    committed_c = float(committed_codec["speedup"])
+                    if committed_c > 0:
+                        collapse = committed_c / max(fresh_c, 1e-12)
+                        if collapse > factor:
+                            return False, (
+                                f"service-codec: fresh binary/json speedup "
+                                f"{fresh_c:.2f}x vs committed "
+                                f"{committed_c:.2f}x ({collapse:.2f}x "
+                                f"collapse, limit {factor}x)")
+        suffix = ("" if not notes else " [" + "; ".join(notes) + "]")
         common = sorted(set(fresh.get("scales", {}))
                         & set(committed.get("scales", {})), key=float)
         if not common:
-            return True, f"{kind} records share no scale; skipping gate"
+            return True, (f"{kind} records share no scale; skipping gate"
+                          + suffix)
         ignore = ("scales", "full_scale")
         if (_without(fresh.get("config"), ignore)
                 != _without(committed.get("config"), ignore)):
             return True, (f"{kind}: per-scale workload parameters differ; "
-                          "speedups are not comparable — skipping gate")
+                          "speedups are not comparable — skipping gate"
+                          + suffix)
         scale = common[-1]
         fresh_speedup = _arbiter_speedup(fresh, scale)
         committed_speedup = _arbiter_speedup(committed, scale)
-        kind = f"{kind}@{scale}"
+        kind = f"{kind}@{scale}{suffix}"
     elif kind == "sim":
         # Dispatch-core sub-record in BENCH_sim.json: per-scale
         # {"speedup": ...} maps under the "dispatch" regime key, where the

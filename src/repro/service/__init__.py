@@ -5,9 +5,11 @@ This package turns the coordination layer into a long-running service —
 the deployment shape the paper implies for a production machine, where
 applications are separate jobs and the arbiter is machine infrastructure:
 
-* :mod:`repro.service.protocol` — length-prefixed JSON message framing
-  plus the wire schemas for :class:`~repro.core.metrics.AccessDescriptor`
-  and :class:`~repro.core.arbiter.DecisionRecord`;
+* :mod:`repro.service.protocol` — length-prefixed message framing with
+  two negotiated payload codecs (canonical JSON, the oracle, and a
+  struct-packed binary codec with descriptor interning) plus the wire
+  schemas for :class:`~repro.core.metrics.AccessDescriptor` and
+  :class:`~repro.core.arbiter.DecisionRecord`;
 * :mod:`repro.service.trace` — :class:`RecordingRouter`, a transparent
   coordinator proxy recording every Inform/Release/Complete exchange of
   an in-process run as a replayable :class:`CoordinationTrace`;
@@ -33,8 +35,9 @@ randomized traces in ``tests/test_service_equivalence.py``).
 
 from .client import RemoteSession, ServiceClient
 from .protocol import (
-    ProtocolError, decision_to_dict, descriptor_from_dict,
-    descriptor_to_dict, read_message, write_message,
+    CODECS, FrameError, FrameReader, ProtocolError, WireDecoder,
+    WireEncoder, canonical_json, decision_to_dict, default_wire_codec,
+    descriptor_from_dict, descriptor_to_dict, read_message, write_message,
 )
 from .server import CoordinationService, ServiceConfig
 from .trace import CoordinationTrace, RecordingRouter, record_trace
@@ -43,6 +46,8 @@ __all__ = [
     "CoordinationService", "ServiceConfig",
     "ServiceClient", "RemoteSession",
     "CoordinationTrace", "RecordingRouter", "record_trace",
-    "ProtocolError", "read_message", "write_message",
+    "ProtocolError", "FrameError", "read_message", "write_message",
+    "CODECS", "WireEncoder", "WireDecoder", "FrameReader",
+    "canonical_json", "default_wire_codec",
     "descriptor_to_dict", "descriptor_from_dict", "decision_to_dict",
 ]

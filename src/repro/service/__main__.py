@@ -30,6 +30,7 @@ import sys
 
 from ..experiments.scenarios import build_scenario
 from .loadgen import replay_trace, run_service_benchmark
+from .protocol import CODECS
 from .server import CoordinationService, ServiceConfig
 from .trace import record_trace, spec_fingerprint
 
@@ -53,6 +54,14 @@ def _build_spec(args: argparse.Namespace):
         raise SystemExit(f"scenario {args.scenario!r} builds {len(specs)} "
                          "specs; the daemon serves exactly one")
     return specs[0]
+
+
+def _add_wire_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--codec", choices=list(CODECS), default=None,
+                        help="wire codec to propose in the hello (default: "
+                             "REPRO_WIRE_CODEC, json when unset)")
+    parser.add_argument("--pipeline", type=int, default=1,
+                        help="exchanges queued per flush; 1 = lockstep")
 
 
 def _split_endpoint(value: str):
@@ -91,9 +100,11 @@ async def _loadgen(args: argparse.Namespace) -> int:
     stats = await replay_trace(
         trace, host, port, args.nclients,
         reference_decisions=result.decisions,
-        inproc_wall_seconds=float(result.perf.get("wall_seconds", 0.0)))
+        inproc_wall_seconds=float(result.perf.get("wall_seconds", 0.0)),
+        codec=args.codec, pipeline=args.pipeline)
     record = stats.as_record()
     record.update({"event": "loadgen", "nclients": stats.nclients,
+                   "codec": args.codec, "pipeline": args.pipeline,
                    "equivalent": stats.equivalent})
     print(json.dumps(record), flush=True)
     if not stats.equivalent:
@@ -120,9 +131,11 @@ async def _drain(args: argparse.Namespace) -> int:
 async def _smoke(args: argparse.Namespace) -> int:
     """Daemon + loadgen + drain in one process; asserts the whole loop."""
     spec = _build_spec(args)
-    stats, service = await run_service_benchmark(spec, args.nclients)
+    stats, service = await run_service_benchmark(
+        spec, args.nclients, codec=args.codec, pipeline=args.pipeline)
     ok = stats.equivalent and service._drained.is_set()
     print(json.dumps({"event": "smoke", "ok": ok,
+                      "codec": args.codec,
                       "decisions": stats.decisions,
                       "exchanges": stats.exchanges,
                       "service_rate": stats.service_rate,
@@ -151,6 +164,7 @@ def main(argv=None) -> int:
     loadgen.add_argument("--connect", required=True,
                          help="daemon endpoint, host:port")
     loadgen.add_argument("--nclients", type=int, default=4)
+    _add_wire_args(loadgen)
     loadgen.set_defaults(run=_loadgen)
 
     drain = sub.add_parser("drain", help="gracefully drain a daemon")
@@ -161,6 +175,7 @@ def main(argv=None) -> int:
     smoke = sub.add_parser("smoke", help="daemon+loadgen+drain, one process")
     _add_scenario_args(smoke)
     smoke.add_argument("--nclients", type=int, default=3)
+    _add_wire_args(smoke)
     smoke.set_defaults(run=_smoke)
 
     args = parser.parse_args(argv)

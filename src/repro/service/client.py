@@ -30,7 +30,8 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..core.metrics import AccessDescriptor
 from .protocol import (
-    ProtocolError, descriptor_to_dict, read_message, write_message,
+    ProtocolError, WireDecoder, WireEncoder, default_wire_codec,
+    descriptor_to_dict, read_message, write_message,
 )
 
 __all__ = ["ServiceClient", "RemoteSession", "AdmissionRejected"]
@@ -107,14 +108,20 @@ class ServiceClient:
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter, apps: List[str], mode: str):
+                 writer: asyncio.StreamWriter, apps: List[str], mode: str,
+                 codec: str = "json", perf=None):
         self._reader = reader
         self._writer = writer
         self.apps = list(apps)
         self.mode = mode
+        self.codec = codec          #: what the daemon granted in welcome
+        self._encoder = WireEncoder(codec, perf=perf)
+        self._decoder = WireDecoder(perf=perf)
         self._sessions = {app: RemoteSession(self, app) for app in apps}
         #: FIFO of futures awaiting acks (requests apply in send order).
         self._acks: "asyncio.Queue[asyncio.Future]" = asyncio.Queue()
+        #: Encoded-but-unsent frames (the request_nowait/flush pipeline).
+        self._sendbuf = bytearray()
         self._bye_ack: Optional[asyncio.Future] = None
         self._pump: Optional[asyncio.Task] = None
         self._broken: Optional[Exception] = None
@@ -123,10 +130,21 @@ class ServiceClient:
     @classmethod
     async def connect(cls, host: str, port: int, apps: List[str],
                       mode: str = "live",
-                      spec_sha: Optional[str] = None) -> "ServiceClient":
+                      spec_sha: Optional[str] = None,
+                      codec: Optional[str] = None,
+                      perf=None) -> "ServiceClient":
+        """Open a connection; ``codec`` proposes the wire codec.
+
+        ``None`` asks for the process default (``REPRO_WIRE_CODEC``, JSON
+        when unset).  The daemon's ``welcome`` names the codec it
+        actually granted — ``client.codec`` after connect.
+        """
+        if codec is None:
+            codec = default_wire_codec()
         reader, writer = await asyncio.open_connection(host, port)
         await write_message(writer, {"type": "hello", "apps": list(apps),
-                                     "mode": mode, "spec_sha": spec_sha})
+                                     "mode": mode, "spec_sha": spec_sha,
+                                     "codec": codec})
         answer = await read_message(reader)
         if answer is None:
             raise ConnectionError("daemon closed during handshake")
@@ -135,7 +153,8 @@ class ServiceClient:
             raise AdmissionRejected(answer.get("reason", "unknown"))
         if answer.get("type") != "welcome":
             raise ProtocolError(f"expected welcome, got {answer!r}")
-        client = cls(reader, writer, apps, mode)
+        granted = answer.get("codec", "json")
+        client = cls(reader, writer, apps, mode, codec=granted, perf=perf)
         client._pump = asyncio.ensure_future(client._pump_loop())
         return client
 
@@ -145,7 +164,8 @@ class ServiceClient:
             loop = asyncio.get_event_loop()
             self._bye_ack = loop.create_future()
             try:
-                await write_message(self._writer, {"type": "bye"})
+                self._sendbuf += self._encoder.encode({"type": "bye"})
+                await self.flush()
                 await asyncio.wait_for(self._bye_ack, 5.0)
             except (ConnectionError, asyncio.TimeoutError):
                 pass
@@ -175,17 +195,42 @@ class ServiceClient:
                       seq: Optional[int] = None,
                       t: Optional[float] = None) -> Dict[str, Any]:
         """Send one frame and await its ack (FIFO-matched)."""
+        future = self.request_nowait(message, seq=seq, t=t)
+        await self.flush()
+        return await future
+
+    def request_nowait(self, message: Dict[str, Any],
+                       seq: Optional[int] = None,
+                       t: Optional[float] = None) -> "asyncio.Future":
+        """Queue one frame without sending; the pipelined half of request.
+
+        The frame is encoded into the client's send buffer and its ack
+        future returned; nothing hits the socket until :meth:`flush`.
+        Queue a whole wave, flush once, then await the futures — one
+        syscall per wave instead of one write+drain per exchange.  Valid
+        whenever exchanges need no interleaved responses: replay traces
+        (acks stay FIFO per connection; the daemon's sequencer orders
+        across connections by ``seq``), or a live fire-and-await burst.
+        """
         if self._broken is not None:
             raise ConnectionError(f"connection is broken: {self._broken}")
         if seq is not None:
             message["seq"] = int(seq)
         if t is not None:
             message["t"] = float(t)
-        loop = asyncio.get_event_loop()
-        future = loop.create_future()
-        await self._acks.put(future)
-        await write_message(self._writer, message)
-        return await future
+        future = asyncio.get_event_loop().create_future()
+        self._acks.put_nowait(future)
+        self._sendbuf += self._encoder.encode(message)
+        return future
+
+    async def flush(self) -> None:
+        """Ship every queued frame in one write (no-op when empty)."""
+        if not self._sendbuf:
+            return
+        data = bytes(self._sendbuf)
+        del self._sendbuf[:]
+        self._writer.write(data)
+        await self._writer.drain()
 
     async def decision_digest(self) -> Dict[str, Any]:
         """The daemon's current decision-log digest (equivalence checks)."""
@@ -195,7 +240,7 @@ class ServiceClient:
         """Route inbound frames: grants to sessions, acks FIFO, errors up."""
         try:
             while True:
-                frame = await read_message(self._reader)
+                frame = await read_message(self._reader, self._decoder)
                 if frame is None:
                     raise ConnectionError("daemon closed the connection")
                 ftype = frame.get("type")

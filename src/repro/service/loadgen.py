@@ -96,28 +96,52 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[index]
 
 
+def _entry_message(entry: dict) -> dict:
+    op = entry["op"]
+    if op == "inform":
+        return {"type": "inform", "descriptor": dict(entry["descriptor"])}
+    if op == "release":
+        return {"type": "release", "app": entry["app"],
+                "remaining": entry.get("remaining")}
+    return {"type": op, "app": entry["app"]}
+
+
 async def _client_worker(host: str, port: int, apps: List[str],
                          entries: List[dict], spec_sha: Optional[str],
-                         latencies: List[float]) -> None:
-    """One connection's replay: its sub-trace, lockstep, in seq order."""
+                         latencies: List[float],
+                         codec: Optional[str] = None,
+                         pipeline: int = 1) -> None:
+    """One connection's replay: its sub-trace, in seq order.
+
+    ``pipeline=1`` is the lockstep mode (one in-flight exchange, the
+    latency a synchronous client observes).  ``pipeline=n`` queues up to
+    ``n`` exchanges per flush and awaits the acks as a wave — valid in
+    replay mode because a connection's sub-trace is seq-ascending and
+    acks stay FIFO; throughput becomes wire/codec-bound instead of
+    RTT-bound, which is what the codec-comparison regime measures.
+    Wave latencies are recorded per exchange from the wave's start.
+    """
     client = await ServiceClient.connect(host, port, apps, mode="replay",
-                                         spec_sha=spec_sha)
+                                         spec_sha=spec_sha, codec=codec)
     try:
-        for entry in entries:
-            session = client.session(entry["app"])
+        if pipeline <= 1:
+            for entry in entries:
+                t0 = time.perf_counter()
+                ack = await client.request(_entry_message(entry),
+                                           seq=entry["seq"], t=entry["t"])
+                latencies.append(time.perf_counter() - t0)
+                del ack
+            return
+        for start in range(0, len(entries), pipeline):
+            wave = entries[start:start + pipeline]
             t0 = time.perf_counter()
-            op = entry["op"]
-            if op == "inform":
-                await session.inform(dict(entry["descriptor"]),
-                                     seq=entry["seq"], t=entry["t"])
-            elif op == "release":
-                await session.release(entry.get("remaining"),
-                                      seq=entry["seq"], t=entry["t"])
-            elif op == "withdraw":
-                await session.withdraw(seq=entry["seq"], t=entry["t"])
-            else:
-                await session.complete(seq=entry["seq"], t=entry["t"])
-            latencies.append(time.perf_counter() - t0)
+            futures = [client.request_nowait(_entry_message(entry),
+                                             seq=entry["seq"], t=entry["t"])
+                       for entry in wave]
+            await client.flush()
+            for future in futures:
+                await future
+                latencies.append(time.perf_counter() - t0)
     finally:
         await client.close()
 
@@ -125,8 +149,15 @@ async def _client_worker(host: str, port: int, apps: List[str],
 async def replay_trace(trace: CoordinationTrace, host: str, port: int,
                        nclients: int,
                        reference_decisions: Optional[list] = None,
-                       inproc_wall_seconds: float = 0.0) -> LoadgenStats:
-    """Replay a recorded trace through ``nclients`` concurrent clients."""
+                       inproc_wall_seconds: float = 0.0,
+                       codec: Optional[str] = None,
+                       pipeline: int = 1) -> LoadgenStats:
+    """Replay a recorded trace through ``nclients`` concurrent clients.
+
+    ``codec`` proposes the wire codec in each client's hello (``None`` =
+    the process default); ``pipeline`` > 1 switches clients from lockstep
+    to windowed pipelining (see :func:`_client_worker`).
+    """
     if nclients < 1:
         raise ValueError(f"nclients must be >= 1, got {nclients}")
     apps = trace.apps
@@ -136,7 +167,7 @@ async def replay_trace(trace: CoordinationTrace, host: str, port: int,
     wall_t0 = time.perf_counter()
     await asyncio.gather(*[
         _client_worker(host, port, hand, trace.entries_for(hand), spec_sha,
-                       latencies)
+                       latencies, codec=codec, pipeline=pipeline)
         for hand in hands])
     wall = time.perf_counter() - wall_t0
 
@@ -181,6 +212,8 @@ async def run_service_benchmark(
         config: Optional[ServiceConfig] = None,
         trace_and_reference: Optional[Tuple[CoordinationTrace, list, float]]
         = None,
+        codec: Optional[str] = None,
+        pipeline: int = 1,
 ) -> Tuple[LoadgenStats, CoordinationService]:
     """Record (or reuse) a trace, serve it, replay it, drain — one scale.
 
@@ -210,7 +243,8 @@ async def run_service_benchmark(
     try:
         stats = await replay_trace(trace, host, port, nclients,
                                    reference_decisions=reference,
-                                   inproc_wall_seconds=inproc_wall)
+                                   inproc_wall_seconds=inproc_wall,
+                                   codec=codec, pipeline=pipeline)
     finally:
         await service.drain(timeout=10.0)
         await service.close()

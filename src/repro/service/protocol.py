@@ -1,20 +1,65 @@
-"""Wire protocol: length-prefixed JSON frames and coordination schemas.
+"""Wire protocol: length-prefixed frames, two codecs, coordination schemas.
 
 Framing
 -------
-Every message is one JSON object encoded as UTF-8, prefixed by its byte
-length as a 4-byte big-endian unsigned integer.  Length-prefixed framing
-(rather than newline-delimited) keeps the payload format unconstrained
-and makes partial-read handling explicit; JSON (rather than a binary
-encoding) keeps the protocol inspectable and dependency-free.  Frames
-are capped at :data:`MAX_FRAME` to bound a malicious or broken peer.
+Every message is one *frame*: a payload prefixed by its byte length as a
+4-byte big-endian unsigned integer.  Length-prefixed framing (rather than
+newline-delimited) keeps the payload format unconstrained and makes
+partial-read handling explicit; frames are capped at :data:`MAX_FRAME` to
+bound a malicious or broken peer.
+
+Two codecs produce payloads, and every payload is *self-describing* —
+the first byte distinguishes them, so one decoder handles both:
+
+``json`` (the oracle)
+    The payload is one canonical-JSON object encoded as UTF-8 (first byte
+    ``{`` = 0x7B).  Python's :mod:`json` serializes floats via ``repr``,
+    which round-trips every finite ``float`` exactly — the property that
+    lets a replayed trace reproduce the in-process decision log *bit for
+    bit*.  JSON stays the default and the cross-checked reference: the
+    binary codec must be observationally equivalent to it (equal decoded
+    messages, string-equal decision logs), asserted by
+    ``tests/test_wire_codec.py``.
+
+``binary``
+    The payload starts with a tag byte >= 0x80 followed by a
+    struct-packed body.  The hot message types of both data planes —
+    service Inform/Release/Complete/Withdraw and their acks, pushed
+    grants, shard-worker ops and transition replies — have fixed fast
+    paths (IEEE-754 doubles are bit-exact by construction); anything
+    else, and any message that fails a fast path's preconditions, falls
+    back to tag ``0x80`` + canonical JSON, so coverage is total.
+    :class:`AccessDescriptor` payloads are *interned*: the first time a
+    descriptor's static fields cross a connection they are sent in full
+    and assigned an id; subsequent informs for the same static tuple send
+    only the id plus the two mutable fields (``remaining_bytes``,
+    ``access_started``) — the dominant message of both planes shrinks
+    from ~250 JSON bytes to ~30.
+
+Because interning is *stateful per connection and direction*, encoding
+and decoding live in :class:`WireEncoder` / :class:`WireDecoder`
+instances (a decoder accepts both codecs; an encoder produces exactly
+one).  The module-level :func:`encode_message` / :func:`decode_message`
+remain the stateless JSON primitives.
+
+Codec negotiation
+-----------------
+The ``hello``/``welcome`` handshake is always JSON.  A client that can
+decode binary sends ``{"codec": "binary"}`` inside its hello; the daemon
+answers with the codec it will actually speak in the ``welcome`` (an
+unknown proposal falls back to ``"json"``), and both sides switch their
+*encoders* after the handshake.  Decoders need no switch — payloads are
+self-describing.  The shard-worker plane has one owner on both ends, so
+it skips negotiation: the router passes the codec name to each worker at
+spawn (``REPRO_WIRE_CODEC``, default ``json``).
 
 Message schemas (client → server)
 ---------------------------------
 ``hello``     ``{"type": "hello", "apps": [...], "mode": "replay"|"live",
-              "spec_sha": str|None}`` — first frame on a connection;
-              declares the coordination sessions the connection will
-              multiplex.  Answered by ``welcome`` or ``rejected``.
+              "spec_sha": str|None, "codec": "json"|"binary"}`` — first
+              frame on a connection; declares the coordination sessions
+              the connection will multiplex.  Answered by ``welcome`` or
+              ``rejected``.
 ``inform``    ``{"type": "inform", "seq": int, "t": float,
               "descriptor": {...}}`` — one Inform exchange; answered by
               ``inform-ack`` carrying the authorization verdict.
@@ -30,26 +75,24 @@ Server → client
 Acks echo the request ``seq``; ``grant`` frames are *pushed* when a
 previously-queued app's authorization fires (the wire analogue of
 :meth:`~repro.core.session.CalciomSession.wait` returning).
-
-Float fidelity
---------------
-Python's :mod:`json` serializes floats via ``repr``, which round-trips
-every finite ``float`` exactly — the property that lets a replayed trace
-reproduce the in-process decision log *bit for bit*.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import struct
-from typing import Any, Dict, Mapping, Optional
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.arbiter import DecisionRecord
 from ..core.metrics import AccessDescriptor
 
 __all__ = [
-    "MAX_FRAME", "ProtocolError",
+    "MAX_FRAME", "CODECS", "ProtocolError", "FrameError",
+    "canonical_json", "default_wire_codec",
+    "WireEncoder", "WireDecoder", "FrameReader",
     "encode_message", "decode_message", "read_message", "write_message",
     "read_frame", "write_frame",
     "descriptor_to_dict", "descriptor_from_dict",
@@ -61,28 +104,71 @@ _LEN = struct.Struct(">I")
 #: Upper bound on one frame's payload, bytes (a descriptor is ~200 B).
 MAX_FRAME = 1 << 20
 
+#: The codecs an encoder can speak (a decoder always accepts both).
+CODECS = ("json", "binary")
+
+
+def default_wire_codec() -> str:
+    """The process-wide default codec: ``REPRO_WIRE_CODEC`` or ``json``."""
+    codec = os.environ.get("REPRO_WIRE_CODEC", "").strip().lower()
+    return codec if codec in CODECS else "json"
+
 
 class ProtocolError(Exception):
     """A malformed frame or an out-of-contract message."""
 
 
+class FrameError(ProtocolError):
+    """A frame died on the wire: truncation, interrupt, transport failure.
+
+    The single surface for every low-level framing failure — partial
+    reads, EINTR-adjacent socket errors, oversized announcements — so
+    callers never see a mix of ``ConnectionError`` / ``struct.error`` /
+    raw ``OSError`` leaking out of the read path.  Messages carry byte
+    offsets (``got X of Y bytes``) because "dropped mid-frame" alone is
+    useless when diagnosing a desynchronized stream.
+    """
+
+
 # ---------------------------------------------------------------------------
-# Framing
+# Canonical JSON (the shared float/separator policy)
 # ---------------------------------------------------------------------------
 
-def encode_message(message: Mapping[str, Any]) -> bytes:
-    """One wire frame: 4-byte big-endian length + UTF-8 JSON payload."""
-    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+def canonical_json(obj: Any, *, sort_keys: bool = False) -> str:
+    """The one canonical JSON serialization policy of the wire.
+
+    Compact separators, ``repr``-exact floats (the :mod:`json` default —
+    every finite float round-trips bit for bit).  Both
+    :func:`encode_message` (every JSON payload on the wire) and
+    :func:`decisions_to_json` (the bit-identity contract) go through this
+    single helper, so the two call sites cannot drift apart.
+    """
+    return json.dumps(obj, separators=(",", ":"), sort_keys=sort_keys)
+
+
+# ---------------------------------------------------------------------------
+# Stateless JSON framing primitives
+# ---------------------------------------------------------------------------
+
+def _frame(payload: bytes) -> bytes:
     if len(payload) > MAX_FRAME:
         raise ProtocolError(f"frame of {len(payload)} bytes exceeds "
                             f"MAX_FRAME ({MAX_FRAME})")
     return _LEN.pack(len(payload)) + payload
 
 
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """One JSON wire frame: 4-byte big-endian length + UTF-8 payload."""
+    return _frame(canonical_json(message).encode("utf-8"))
+
+
 def decode_message(payload: bytes) -> Dict[str, Any]:
-    """Parse one frame's payload (sans length prefix)."""
+    """Parse one JSON frame's payload (sans length prefix)."""
     try:
-        message = json.loads(payload.decode("utf-8"))
+        message = json.loads(
+            payload.decode("utf-8") if isinstance(payload, (bytes, bytearray,
+                                                            memoryview))
+            else payload)
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"undecodable frame: {exc}") from None
     if not isinstance(message, dict) or "type" not in message:
@@ -90,30 +176,689 @@ def decode_message(payload: bytes) -> Dict[str, Any]:
     return message
 
 
-async def read_message(reader: asyncio.StreamReader
+# ---------------------------------------------------------------------------
+# Binary codec internals
+# ---------------------------------------------------------------------------
+
+class _Unrepresentable(Exception):
+    """Internal: this message needs the generic JSON fallback."""
+
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_TAG_GENERIC = 0x80
+_TAG_INFORM = 0x81
+_TAG_RELEASE = 0x82
+_TAG_COMPLETE = 0x83
+_TAG_WITHDRAW = 0x84
+_TAG_ACK = 0x85
+_TAG_GRANT = 0x86
+_TAG_OP = 0x87
+_TAG_REPLY = 0x88
+
+_ACK_TYPES = ("inform-ack", "release-ack", "complete-ack", "withdraw-ack")
+_OP_NAMES = ("inform", "release", "complete", "withdraw", "advance")
+_STATE_NAMES = ("idle", "active", "waiting", "preempted")
+_ACTION_NAMES = ("go", "wait", "interrupt", "delay")
+
+_ACK_CODES = {name: i for i, name in enumerate(_ACK_TYPES)}
+_OP_CODES = {name: i for i, name in enumerate(_OP_NAMES)}
+_STATE_CODES = {name: i for i, name in enumerate(_STATE_NAMES)}
+_ACTION_CODES = {name: i for i, name in enumerate(_ACTION_NAMES)}
+
+_DESC_KEYS = frozenset((
+    "app", "nprocs", "total_bytes", "t_alone", "remaining_bytes",
+    "access_started", "files", "rounds", "partitions"))
+
+#: Interned-descriptor id meaning "do not store" (encoder table full).
+_NO_ID = 0xFFFFFFFF
+#: Per-direction intern table bound (ids are assigned densely below it).
+_MAX_INTERNED = 1 << 16
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+_I32_MIN, _I32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def _is_int(v: Any) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _pstr(out: bytearray, s: Any) -> None:
+    if not isinstance(s, str):
+        raise _Unrepresentable
+    data = s.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise _Unrepresentable
+    out += _U16.pack(len(data))
+    out += data
+
+
+def _put_opt_float(out: bytearray, v: Any) -> None:
+    if v is None:
+        out += b"\x00"
+    elif _is_num(v):
+        out += b"\x01"
+        out += _F64.pack(v)
+    else:
+        raise _Unrepresentable
+
+
+def _put_seq_t(out: bytearray, m: Mapping[str, Any]) -> int:
+    """Append the optional ``seq``/``t`` fields; return their flag bits."""
+    flags = 0
+    if "seq" in m:
+        seq = m["seq"]
+        if not _is_int(seq) or not 0 <= seq <= 0xFFFFFFFFFFFFFFFF:
+            raise _Unrepresentable
+        flags |= 1
+        out += _U64.pack(seq)
+    if "t" in m:
+        t = m["t"]
+        if not _is_num(t):
+            raise _Unrepresentable
+        flags |= 2
+        out += _F64.pack(t)
+    return flags
+
+
+class WireEncoder:
+    """One direction's frame encoder (codec fixed, interning stateful).
+
+    ``encode()`` always returns a complete frame (length prefix
+    included); with ``codec="binary"`` the hot message types take the
+    struct fast paths and descriptors are interned, while anything
+    off-schema falls back to tagged canonical JSON.  Counter bumps go to
+    ``perf`` when given: ``wire_frames_encoded`` / ``wire_bytes_encoded``
+    / ``wire_encode_seconds``, plus ``wire_desc_interned`` /
+    ``wire_desc_refs`` / ``wire_generic_frames`` on the binary paths.
+    """
+
+    __slots__ = ("codec", "perf", "_desc_ids")
+
+    def __init__(self, codec: str = "json", perf=None):
+        if codec not in CODECS:
+            raise ValueError(f"unknown wire codec {codec!r} "
+                             f"(expected one of {CODECS})")
+        self.codec = codec
+        self.perf = perf
+        #: static-descriptor tuple -> interned id (binary codec only).
+        self._desc_ids: Dict[tuple, int] = {}
+
+    def encode(self, message: Mapping[str, Any]) -> bytes:
+        perf = self.perf
+        t0 = time.perf_counter() if perf is not None else 0.0
+        if self.codec == "binary":
+            try:
+                payload = self._binary_payload(message)
+            except (_Unrepresentable, struct.error, OverflowError,
+                    UnicodeEncodeError, TypeError, KeyError, ValueError):
+                payload = (_U8.pack(_TAG_GENERIC)
+                           + canonical_json(message).encode("utf-8"))
+                if perf is not None:
+                    perf.bump("wire_generic_frames")
+        else:
+            payload = canonical_json(message).encode("utf-8")
+        frame = _frame(payload)
+        if perf is not None:
+            perf.bump("wire_encode_seconds", time.perf_counter() - t0)
+            perf.bump("wire_frames_encoded")
+            perf.bump("wire_bytes_encoded", len(frame))
+        return frame
+
+    # -- binary fast paths --------------------------------------------------
+    def _binary_payload(self, m: Mapping[str, Any]) -> bytes:
+        mtype = m.get("type")
+        if mtype == "inform":
+            return self._enc_inform(m)
+        if mtype == "release":
+            return self._enc_release(m)
+        if mtype in ("complete", "withdraw"):
+            return self._enc_complete(m)
+        if mtype in _ACK_CODES:
+            return self._enc_ack(m)
+        if mtype == "grant":
+            return self._enc_grant(m)
+        if mtype == "op":
+            return self._enc_op(m)
+        if mtype == "r":
+            return self._enc_reply(m)
+        raise _Unrepresentable
+
+    def _enc_inform(self, m: Mapping[str, Any]) -> bytes:
+        if set(m) - {"seq", "t"} != {"type", "descriptor"}:
+            raise _Unrepresentable
+        out = bytearray((_TAG_INFORM, 0))
+        out[1] = _put_seq_t(out, m)
+        self._put_descriptor(out, m["descriptor"])
+        return bytes(out)
+
+    def _enc_release(self, m: Mapping[str, Any]) -> bytes:
+        if set(m) - {"seq", "t"} != {"type", "app", "remaining"}:
+            raise _Unrepresentable
+        out = bytearray((_TAG_RELEASE, 0))
+        flags = _put_seq_t(out, m)
+        remaining = m["remaining"]
+        _pstr(out, m["app"])
+        if remaining is not None:
+            if not _is_num(remaining):
+                raise _Unrepresentable
+            flags |= 4
+            out += _F64.pack(remaining)
+        out[1] = flags
+        return bytes(out)
+
+    def _enc_complete(self, m: Mapping[str, Any]) -> bytes:
+        if set(m) - {"seq", "t"} != {"type", "app"}:
+            raise _Unrepresentable
+        tag = _TAG_COMPLETE if m["type"] == "complete" else _TAG_WITHDRAW
+        out = bytearray((tag, 0))
+        out[1] = _put_seq_t(out, m)
+        _pstr(out, m["app"])
+        return bytes(out)
+
+    def _enc_ack(self, m: Mapping[str, Any]) -> bytes:
+        mtype = m["type"]
+        expected = ({"type", "t", "app", "authorized"}
+                    if mtype == "inform-ack" else {"type", "t", "app"})
+        if set(m) - {"seq"} != expected:
+            raise _Unrepresentable
+        t = m["t"]
+        if not _is_num(t):
+            raise _Unrepresentable
+        flags = 0
+        if "authorized" in m:
+            if not isinstance(m["authorized"], bool):
+                raise _Unrepresentable
+            flags |= 2
+            if m["authorized"]:
+                flags |= 4
+        out = bytearray((_TAG_ACK, _ACK_CODES[mtype], flags))
+        out += _F64.pack(t)
+        if "seq" in m:
+            seq = m["seq"]
+            if not _is_int(seq) or not 0 <= seq <= 0xFFFFFFFFFFFFFFFF:
+                raise _Unrepresentable
+            out[2] = flags | 1
+            out += _U64.pack(seq)
+        _pstr(out, m["app"])
+        return bytes(out)
+
+    def _enc_grant(self, m: Mapping[str, Any]) -> bytes:
+        if set(m) != {"type", "app", "t"} or not _is_num(m["t"]):
+            raise _Unrepresentable
+        out = bytearray((_TAG_GRANT,))
+        out += _F64.pack(m["t"])
+        _pstr(out, m["app"])
+        return bytes(out)
+
+    def _enc_op(self, m: Mapping[str, Any]) -> bytes:
+        op = m.get("op")
+        code = _OP_CODES.get(op)
+        if code is None:
+            raise _Unrepresentable
+        base = set(m) - {"t", "r"}
+        if op == "inform":
+            expected = {"type", "op", "d"}
+        elif op == "release":
+            expected = {"type", "op", "app", "rem"}
+        elif op == "advance":
+            expected = {"type", "op"}
+        else:
+            expected = {"type", "op", "app"}
+        if base != expected:
+            raise _Unrepresentable
+        flags = 0
+        out = bytearray((_TAG_OP, code, 0))
+        if "t" in m:
+            if not _is_num(m["t"]):
+                raise _Unrepresentable
+            flags |= 1
+            out += _F64.pack(m["t"])
+        if "r" in m:
+            r = m["r"]
+            if not _is_int(r) or r not in (0, 1):
+                raise _Unrepresentable
+            flags |= 2
+            if r:
+                flags |= 4
+        if op == "inform":
+            self._put_descriptor(out, m["d"])
+        elif op == "release":
+            _pstr(out, m["app"])
+            rem = m["rem"]
+            if rem is not None:
+                if not _is_num(rem):
+                    raise _Unrepresentable
+                flags |= 8
+                out += _F64.pack(rem)
+        elif op != "advance":
+            _pstr(out, m["app"])
+        out[2] = flags
+        return bytes(out)
+
+    def _enc_reply(self, m: Mapping[str, Any]) -> bytes:
+        if set(m) - {"ok", "dec"} != {"type", "tr", "nw"}:
+            raise _Unrepresentable
+        nw = m["nw"]
+        tr = m["tr"]
+        if not isinstance(tr, (list, tuple)) or len(tr) > 0xFFFF:
+            raise _Unrepresentable
+        flags = 0
+        body = bytearray()
+        if nw is not None:
+            if not _is_num(nw):
+                raise _Unrepresentable
+            flags |= 1
+            body += _F64.pack(nw)
+        if "ok" in m:
+            if not isinstance(m["ok"], bool):
+                raise _Unrepresentable
+            flags |= 2
+            if m["ok"]:
+                flags |= 4
+        if "dec" in m:
+            flags |= 8
+            dec = m["dec"]
+            if dec is not None:
+                if (not isinstance(dec, (list, tuple)) or len(dec) != 2
+                        or dec[0] not in _ACTION_CODES
+                        or not _is_num(dec[1])):
+                    raise _Unrepresentable
+                flags |= 16
+                body += _U8.pack(_ACTION_CODES[dec[0]])
+                body += _F64.pack(dec[1])
+        body += _U16.pack(len(tr))
+        for entry in tr:
+            if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                    or entry[1] not in _STATE_CODES):
+                raise _Unrepresentable
+            _pstr(body, entry[0])
+            body += _U8.pack(_STATE_CODES[entry[1]])
+        return bytes(bytearray((_TAG_REPLY, flags)) + body)
+
+    def _put_descriptor(self, out: bytearray, d: Any) -> None:
+        if not isinstance(d, Mapping) or set(d) != _DESC_KEYS:
+            raise _Unrepresentable
+        app = d["app"]
+        nprocs, files, rounds = d["nprocs"], d["files"], d["rounds"]
+        parts = d["partitions"]
+        if not isinstance(parts, (list, tuple)):
+            raise _Unrepresentable
+        parts_t = tuple(parts)
+        for v in (nprocs, files, rounds):
+            if not _is_int(v) or not _I64_MIN <= v <= _I64_MAX:
+                raise _Unrepresentable
+        if len(parts_t) > 0xFFFF or not all(
+                _is_int(p) and _I32_MIN <= p <= _I32_MAX for p in parts_t):
+            raise _Unrepresentable
+        total, t_alone = d["total_bytes"], d["t_alone"]
+        remaining, started = d["remaining_bytes"], d["access_started"]
+        if not (_is_num(total) and _is_num(t_alone) and _is_num(remaining)):
+            raise _Unrepresentable
+
+        ids = self._desc_ids
+        key = (app, nprocs, files, rounds, parts_t,
+               float(total), float(t_alone))
+        did = ids.get(key)
+        if did is not None:
+            out += b"\x01"
+            out += _U32.pack(did)
+            out += _F64.pack(remaining)
+            _put_opt_float(out, started)
+            if self.perf is not None:
+                self.perf.bump("wire_desc_refs")
+            return
+        # Build the full body before committing the intern id: a failing
+        # field must not leave the encoder table ahead of the decoder's.
+        body = bytearray()
+        _pstr(body, app)
+        body += _I64.pack(nprocs)
+        body += _I64.pack(files)
+        body += _I64.pack(rounds)
+        body += _U16.pack(len(parts_t))
+        for p in parts_t:
+            body += _I32.pack(p)
+        body += _F64.pack(total)
+        body += _F64.pack(t_alone)
+        body += _F64.pack(remaining)
+        _put_opt_float(body, started)
+        if len(ids) < _MAX_INTERNED:
+            did = len(ids)
+            ids[key] = did
+            if self.perf is not None:
+                self.perf.bump("wire_desc_interned")
+        else:
+            did = _NO_ID
+        out += b"\x00"
+        out += _U32.pack(did)
+        out += body
+
+
+class WireDecoder:
+    """One direction's frame decoder — accepts both codecs.
+
+    Payloads are self-describing (first byte >= 0x80 means binary), so a
+    single decoder instance serves a connection regardless of what was
+    negotiated; the instance carries the interned-descriptor table the
+    peer's encoder builds up.  Counter bumps (when ``perf`` is given):
+    ``wire_frames_decoded`` / ``wire_bytes_decoded`` /
+    ``wire_decode_seconds``.
+    """
+
+    __slots__ = ("perf", "_desc_static")
+
+    def __init__(self, perf=None):
+        self.perf = perf
+        #: interned id -> static descriptor fields, mirrored from the peer.
+        self._desc_static: Dict[int, tuple] = {}
+
+    def decode(self, payload) -> Dict[str, Any]:
+        perf = self.perf
+        t0 = time.perf_counter() if perf is not None else 0.0
+        if not payload:
+            raise ProtocolError("empty frame")
+        data = bytes(payload)
+        if data[0] >= 0x80:
+            try:
+                message = self._decode_binary(data)
+            except ProtocolError:
+                raise
+            except (struct.error, IndexError, UnicodeDecodeError,
+                    KeyError) as exc:
+                raise ProtocolError(
+                    f"undecodable binary frame: {exc}") from None
+        else:
+            message = decode_message(data)
+        if perf is not None:
+            perf.bump("wire_decode_seconds", time.perf_counter() - t0)
+            perf.bump("wire_frames_decoded")
+            perf.bump("wire_bytes_decoded", len(data) + _LEN.size)
+        return message
+
+    # -- binary parsing -----------------------------------------------------
+    def _decode_binary(self, data: bytes) -> Dict[str, Any]:
+        tag = data[0]
+        if tag == _TAG_GENERIC:
+            return decode_message(data[1:])
+        if tag == _TAG_INFORM:
+            message, pos = self._dec_inform(data)
+        elif tag == _TAG_RELEASE:
+            message, pos = self._dec_release(data)
+        elif tag in (_TAG_COMPLETE, _TAG_WITHDRAW):
+            message, pos = self._dec_complete(data, tag)
+        elif tag == _TAG_ACK:
+            message, pos = self._dec_ack(data)
+        elif tag == _TAG_GRANT:
+            message, pos = self._dec_grant(data)
+        elif tag == _TAG_OP:
+            message, pos = self._dec_op(data)
+        elif tag == _TAG_REPLY:
+            message, pos = self._dec_reply(data)
+        else:
+            raise ProtocolError(f"unknown binary frame tag 0x{tag:02x}")
+        if pos != len(data):
+            raise ProtocolError(
+                f"binary frame has {len(data) - pos} trailing bytes")
+        return message
+
+    @staticmethod
+    def _get_str(data: bytes, pos: int) -> Tuple[str, int]:
+        (n,) = _U16.unpack_from(data, pos)
+        pos += 2
+        end = pos + n
+        if end > len(data):
+            raise ProtocolError("truncated string in binary frame")
+        return data[pos:end].decode("utf-8"), end
+
+    @staticmethod
+    def _get_seq_t(data: bytes, pos: int, flags: int,
+                   message: Dict[str, Any]) -> int:
+        if flags & 1:
+            (seq,) = _U64.unpack_from(data, pos)
+            pos += 8
+            message["seq"] = seq
+        if flags & 2:
+            (t,) = _F64.unpack_from(data, pos)
+            pos += 8
+            message["t"] = t
+        return pos
+
+    def _dec_inform(self, data: bytes) -> Tuple[Dict[str, Any], int]:
+        flags = data[1]
+        message: Dict[str, Any] = {"type": "inform"}
+        pos = self._get_seq_t(data, 2, flags, message)
+        message["descriptor"], pos = self._get_descriptor(data, pos)
+        return message, pos
+
+    def _dec_release(self, data: bytes) -> Tuple[Dict[str, Any], int]:
+        flags = data[1]
+        message: Dict[str, Any] = {"type": "release"}
+        pos = self._get_seq_t(data, 2, flags, message)
+        message["app"], pos = self._get_str(data, pos)
+        if flags & 4:
+            (remaining,) = _F64.unpack_from(data, pos)
+            pos += 8
+            message["remaining"] = remaining
+        else:
+            message["remaining"] = None
+        return message, pos
+
+    def _dec_complete(self, data: bytes,
+                      tag: int) -> Tuple[Dict[str, Any], int]:
+        flags = data[1]
+        message: Dict[str, Any] = {
+            "type": "complete" if tag == _TAG_COMPLETE else "withdraw"}
+        pos = self._get_seq_t(data, 2, flags, message)
+        message["app"], pos = self._get_str(data, pos)
+        return message, pos
+
+    def _dec_ack(self, data: bytes) -> Tuple[Dict[str, Any], int]:
+        subtype, flags = data[1], data[2]
+        if subtype >= len(_ACK_TYPES):
+            raise ProtocolError(f"unknown ack subtype {subtype}")
+        message: Dict[str, Any] = {"type": _ACK_TYPES[subtype]}
+        (t,) = _F64.unpack_from(data, 3)
+        message["t"] = t
+        pos = 11
+        if flags & 1:
+            (seq,) = _U64.unpack_from(data, pos)
+            pos += 8
+            message["seq"] = seq
+        message["app"], pos = self._get_str(data, pos)
+        if flags & 2:
+            message["authorized"] = bool(flags & 4)
+        return message, pos
+
+    def _dec_grant(self, data: bytes) -> Tuple[Dict[str, Any], int]:
+        (t,) = _F64.unpack_from(data, 1)
+        app, pos = self._get_str(data, 9)
+        return {"type": "grant", "app": app, "t": t}, pos
+
+    def _dec_op(self, data: bytes) -> Tuple[Dict[str, Any], int]:
+        code, flags = data[1], data[2]
+        if code >= len(_OP_NAMES):
+            raise ProtocolError(f"unknown op code {code}")
+        op = _OP_NAMES[code]
+        message: Dict[str, Any] = {"type": "op", "op": op}
+        pos = 3
+        if flags & 1:
+            (t,) = _F64.unpack_from(data, pos)
+            pos += 8
+            message["t"] = t
+        if flags & 2:
+            message["r"] = 1 if flags & 4 else 0
+        if op == "inform":
+            message["d"], pos = self._get_descriptor(data, pos)
+        elif op == "release":
+            message["app"], pos = self._get_str(data, pos)
+            if flags & 8:
+                (rem,) = _F64.unpack_from(data, pos)
+                pos += 8
+                message["rem"] = rem
+            else:
+                message["rem"] = None
+        elif op != "advance":
+            message["app"], pos = self._get_str(data, pos)
+        return message, pos
+
+    def _dec_reply(self, data: bytes) -> Tuple[Dict[str, Any], int]:
+        flags = data[1]
+        message: Dict[str, Any] = {"type": "r"}
+        pos = 2
+        if flags & 1:
+            (nw,) = _F64.unpack_from(data, pos)
+            pos += 8
+        else:
+            nw = None
+        if flags & 2:
+            message["ok"] = bool(flags & 4)
+        if flags & 8:
+            if flags & 16:
+                action = data[pos]
+                if action >= len(_ACTION_NAMES):
+                    raise ProtocolError(f"unknown action code {action}")
+                (value,) = _F64.unpack_from(data, pos + 1)
+                pos += 9
+                message["dec"] = [_ACTION_NAMES[action], value]
+            else:
+                message["dec"] = None
+        (ntr,) = _U16.unpack_from(data, pos)
+        pos += 2
+        tr: List[List[Any]] = []
+        for _ in range(ntr):
+            app, pos = self._get_str(data, pos)
+            state = data[pos]
+            pos += 1
+            if state >= len(_STATE_NAMES):
+                raise ProtocolError(f"unknown state code {state}")
+            tr.append([app, _STATE_NAMES[state]])
+        message["tr"] = tr
+        message["nw"] = nw
+        return message, pos
+
+    def _get_descriptor(self, data: bytes,
+                        pos: int) -> Tuple[Dict[str, Any], int]:
+        kind = data[pos]
+        pos += 1
+        if kind == 1:
+            (did,) = _U32.unpack_from(data, pos)
+            pos += 4
+            static = self._desc_static.get(did)
+            if static is None:
+                raise ProtocolError(
+                    f"descriptor ref to unknown intern id {did}")
+            (remaining,) = _F64.unpack_from(data, pos)
+            pos += 8
+            started, pos = self._get_opt_float(data, pos)
+            app, nprocs, files, rounds, parts, total, t_alone = static
+            return {
+                "app": app,
+                "nprocs": nprocs,
+                "total_bytes": total,
+                "t_alone": t_alone,
+                "remaining_bytes": remaining,
+                "access_started": started,
+                "files": files,
+                "rounds": rounds,
+                "partitions": list(parts),
+            }, pos
+        if kind != 0:
+            raise ProtocolError(f"unknown descriptor kind {kind}")
+        (did,) = _U32.unpack_from(data, pos)
+        pos += 4
+        app, pos = self._get_str(data, pos)
+        (nprocs,) = _I64.unpack_from(data, pos)
+        (files,) = _I64.unpack_from(data, pos + 8)
+        (rounds,) = _I64.unpack_from(data, pos + 16)
+        (npart,) = _U16.unpack_from(data, pos + 24)
+        pos += 26
+        parts = []
+        for _ in range(npart):
+            (p,) = _I32.unpack_from(data, pos)
+            pos += 4
+            parts.append(p)
+        (total,) = _F64.unpack_from(data, pos)
+        (t_alone,) = _F64.unpack_from(data, pos + 8)
+        (remaining,) = _F64.unpack_from(data, pos + 16)
+        pos += 24
+        started, pos = self._get_opt_float(data, pos)
+        if did != _NO_ID:
+            self._desc_static[did] = (app, nprocs, files, rounds,
+                                      tuple(parts), total, t_alone)
+        return {
+            "app": app,
+            "nprocs": nprocs,
+            "total_bytes": total,
+            "t_alone": t_alone,
+            "remaining_bytes": remaining,
+            "access_started": started,
+            "files": files,
+            "rounds": rounds,
+            "partitions": parts,
+        }, pos
+
+    @staticmethod
+    def _get_opt_float(data: bytes, pos: int) -> Tuple[Optional[float], int]:
+        has = data[pos]
+        pos += 1
+        if not has:
+            return None, pos
+        (v,) = _F64.unpack_from(data, pos)
+        return v, pos + 8
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous framing (asyncio streams)
+# ---------------------------------------------------------------------------
+
+async def read_message(reader: asyncio.StreamReader,
+                       decoder: Optional[WireDecoder] = None
                        ) -> Optional[Dict[str, Any]]:
-    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    With a :class:`WireDecoder` the payload may be either codec (and the
+    decoder's intern table is maintained); without one the payload must
+    be JSON — the pre-negotiation and legacy-caller path.
+    """
     try:
         header = await reader.readexactly(_LEN.size)
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
-        raise ProtocolError("connection dropped mid-frame") from None
+        raise FrameError(f"connection dropped mid-frame: got "
+                         f"{len(exc.partial)} of {_LEN.size} header bytes"
+                         ) from None
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
-        raise ProtocolError(f"announced frame of {length} bytes exceeds "
-                            f"MAX_FRAME ({MAX_FRAME})")
+        raise FrameError(f"announced frame of {length} bytes exceeds "
+                         f"MAX_FRAME ({MAX_FRAME})")
     try:
         payload = await reader.readexactly(length)
-    except asyncio.IncompleteReadError:
-        raise ProtocolError("connection dropped mid-frame") from None
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(f"connection dropped mid-frame: got "
+                         f"{len(exc.partial)} of {length} payload bytes"
+                         ) from None
+    if decoder is not None:
+        return decoder.decode(payload)
     return decode_message(payload)
 
 
 async def write_message(writer: asyncio.StreamWriter,
-                        message: Mapping[str, Any]) -> None:
+                        message: Mapping[str, Any],
+                        encoder: Optional[WireEncoder] = None) -> None:
     """Write one frame and drain (the back of the backpressure story)."""
-    writer.write(encode_message(message))
+    writer.write(encoder.encode(message) if encoder is not None
+                 else encode_message(message))
     await writer.drain()
 
 
@@ -126,38 +871,143 @@ async def write_message(writer: asyncio.StreamWriter,
 # event loop, it just alternates read/apply/write.  ``None`` on clean EOF
 # at a frame boundary mirrors :func:`read_message`.
 
+class FrameReader:
+    """Buffered blocking frame reader over one socket.
+
+    One ``recv`` pulls as many bytes as the kernel has ready, so a
+    pipelined stretch of frames (a coordination wave) costs one syscall,
+    not two recv loops per frame.  All transport failures surface as
+    :class:`FrameError` with byte offsets; ``EINTR`` is retried.
+    """
+
+    __slots__ = ("_sock", "_decoder", "_buf", "_pos")
+
+    #: recv size — large enough that a whole coalesced wave arrives at once.
+    CHUNK = 1 << 16
+
+    def __init__(self, sock, decoder: Optional[WireDecoder] = None):
+        self._sock = sock
+        self._decoder = decoder if decoder is not None else WireDecoder()
+        self._buf = bytearray()
+        self._pos = 0
+
+    def _available(self) -> int:
+        return len(self._buf) - self._pos
+
+    def has_buffered_frame(self) -> bool:
+        """True when a complete frame is already parseable from the buffer.
+
+        The worker loop uses this to decide when to flush its pending
+        replies: only before a read that will actually hit the socket —
+        the flush-before-block rule that keeps both ends deadlock-free
+        while still coalescing a whole wave's replies into one send.
+        """
+        avail = self._available()
+        if avail < _LEN.size:
+            return False
+        (length,) = _LEN.unpack_from(self._buf, self._pos)
+        return avail >= _LEN.size + length
+
+    def _fill(self, need: int, what: str) -> bool:
+        """Ensure ``need`` bytes are buffered; False on clean EOF at 0."""
+        while self._available() < need:
+            try:
+                chunk = self._sock.recv(max(self.CHUNK,
+                                            need - self._available()))
+            except InterruptedError:  # pragma: no cover - EINTR straggler
+                continue
+            except OSError as exc:
+                raise FrameError(
+                    f"transport failed with {self._available()} of {need} "
+                    f"{what} bytes buffered: {exc}") from None
+            if not chunk:
+                if self._available() == 0:
+                    return False
+                raise FrameError(
+                    f"connection dropped mid-frame: got "
+                    f"{self._available()} of {need} {what} bytes")
+            self._buf += chunk
+        return True
+
+    def read_frame(self) -> Optional[Dict[str, Any]]:
+        """Read one frame; ``None`` on clean EOF at a frame boundary."""
+        if self._pos and self._pos == len(self._buf):
+            del self._buf[:]
+            self._pos = 0
+        elif self._pos > self.CHUNK:
+            del self._buf[:self._pos]
+            self._pos = 0
+        if not self._fill(_LEN.size, "header"):
+            return None
+        (length,) = _LEN.unpack_from(self._buf, self._pos)
+        if length > MAX_FRAME:
+            raise FrameError(f"announced frame of {length} bytes exceeds "
+                             f"MAX_FRAME ({MAX_FRAME})")
+        if not self._fill(_LEN.size + length, "frame"):
+            raise FrameError(  # pragma: no cover - _fill raises first
+                "connection dropped mid-frame")
+        start = self._pos + _LEN.size
+        payload = bytes(self._buf[start:start + length])
+        self._pos = start + length
+        return self._decoder.decode(payload)
+
+
 def _recv_exactly(sock, n: int) -> bytes:
+    """Receive exactly ``n`` bytes, retrying EINTR; ``b""`` on clean EOF.
+
+    Every failure mode — a connection dropped mid-read, a transport
+    error — raises :class:`FrameError` carrying the byte offsets, never a
+    bare ``ConnectionError`` or ``struct.error``.
+    """
     chunks = []
     got = 0
     while got < n:
-        chunk = sock.recv(n - got)
+        try:
+            chunk = sock.recv(n - got)
+        except InterruptedError:  # pragma: no cover - EINTR straggler
+            continue
+        except OSError as exc:
+            raise FrameError(
+                f"transport failed after {got} of {n} bytes: {exc}"
+            ) from None
         if not chunk:
             if got:
-                raise ProtocolError("connection dropped mid-frame")
+                raise FrameError(
+                    f"connection dropped mid-frame: got {got} of {n} bytes")
             return b""
         chunks.append(chunk)
         got += len(chunk)
     return b"".join(chunks)
 
 
-def read_frame(sock) -> Optional[Dict[str, Any]]:
-    """Blocking read of one frame; ``None`` on clean EOF at a boundary."""
+def read_frame(sock, decoder: Optional[WireDecoder] = None
+               ) -> Optional[Dict[str, Any]]:
+    """Blocking read of one frame; ``None`` on clean EOF at a boundary.
+
+    Unbuffered (two recv loops per frame) — kept for one-shot callers;
+    the data planes hold a :class:`FrameReader` per socket instead.
+    """
     header = _recv_exactly(sock, _LEN.size)
     if not header:
         return None
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
-        raise ProtocolError(f"announced frame of {length} bytes exceeds "
-                            f"MAX_FRAME ({MAX_FRAME})")
+        raise FrameError(f"announced frame of {length} bytes exceeds "
+                         f"MAX_FRAME ({MAX_FRAME})")
     payload = _recv_exactly(sock, length)
     if len(payload) != length:
-        raise ProtocolError("connection dropped mid-frame")
+        raise FrameError(f"connection dropped mid-frame: got "
+                         f"{len(payload)} of {length} payload bytes")
+    if decoder is not None:
+        return decoder.decode(payload)
     return decode_message(payload)
 
 
-def write_frame(sock, message: Mapping[str, Any]) -> None:
+def write_frame(sock, message: Mapping[str, Any],
+                encoder: Optional[WireEncoder] = None) -> None:
     """Blocking write of one frame (``sendall``)."""
-    sock.sendall(encode_message(message))
+    sock.sendall(encoder.encode(message) if encoder is not None
+                 else encode_message(message))
 
 
 # ---------------------------------------------------------------------------
@@ -227,7 +1077,9 @@ def decisions_to_json(records) -> str:
 
     Two logs are *bit-identical* iff their canonical serializations are
     equal strings — the equality the service's replay guarantees against
-    the in-process run.
+    the in-process run.  The float/separator policy is
+    :func:`canonical_json`, the same helper every JSON payload on the
+    wire goes through, so the two contracts cannot drift apart.
     """
-    return json.dumps([decision_to_dict(r) for r in records],
-                      separators=(",", ":"), sort_keys=True)
+    return canonical_json([decision_to_dict(r) for r in records],
+                          sort_keys=True)

@@ -44,8 +44,8 @@ from ..core import CalciomRuntime
 from ..experiments.spec import ExperimentSpec
 from ..platforms import Platform
 from .protocol import (
-    ProtocolError, decisions_to_json, descriptor_from_dict, read_message,
-    write_message,
+    CODECS, ProtocolError, WireDecoder, WireEncoder, decisions_to_json,
+    default_wire_codec, descriptor_from_dict, read_message, write_message,
 )
 
 __all__ = ["ServiceConfig", "CoordinationService"]
@@ -74,10 +74,12 @@ class _Connection:
     """Per-connection state: sessions, outbox, backpressure accounting."""
 
     __slots__ = ("cid", "mode", "apps", "writer", "outbox", "buffered",
-                 "unblocked", "closed", "frames", "applied")
+                 "unblocked", "closed", "frames", "applied", "encoder",
+                 "decoder")
 
     def __init__(self, cid: int, mode: str, apps: Set[str],
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter, encoder: WireEncoder,
+                 decoder: WireDecoder):
         self.cid = cid
         self.mode = mode
         self.apps = apps
@@ -90,6 +92,8 @@ class _Connection:
         self.closed = False
         self.frames = 0
         self.applied = 0
+        self.encoder = encoder     #: negotiated codec, server->client frames
+        self.decoder = decoder     #: universal (self-describing payloads)
 
 
 class CoordinationService:
@@ -264,7 +268,7 @@ class CoordinationService:
 
     async def _admit(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> Optional[_Connection]:
-        """The hello handshake: admission control happens here."""
+        """The hello handshake: admission control and codec negotiation."""
         hello = await read_message(reader)
         if hello is None:
             return None
@@ -272,6 +276,13 @@ class CoordinationService:
             raise ProtocolError(f"expected hello, got {hello.get('type')!r}")
         apps = [str(a) for a in hello.get("apps", [])]
         mode = hello.get("mode", "live")
+        # Codec negotiation: grant the client's proposal when we speak it,
+        # else fall back to the JSON oracle.  Hello/welcome are always
+        # JSON; only post-handshake *encoders* switch (payloads are
+        # self-describing, so decoders never need to).
+        codec = hello.get("codec", "json")
+        if codec not in CODECS:
+            codec = "json"
         reason = None
         if mode not in ("replay", "live"):
             reason = f"unknown mode {mode!r}"
@@ -293,7 +304,9 @@ class CoordinationService:
             return None
         cid = self._next_cid
         self._next_cid += 1
-        conn = _Connection(cid, mode, set(apps), writer)
+        conn = _Connection(cid, mode, set(apps), writer,
+                           WireEncoder(codec, perf=self.perf),
+                           WireDecoder(perf=self.perf))
         self._connections[cid] = conn
         for app in apps:
             self._sessions[app] = cid
@@ -301,16 +314,45 @@ class CoordinationService:
         self.perf.bump("service_connections")
         self.perf.bump("service_sessions", len(apps))
         await write_message(writer, {"type": "welcome", "mode": mode,
-                                     "next_seq": self._next_seq})
+                                     "next_seq": self._next_seq,
+                                     "codec": codec})
         return conn
 
     async def _writer_loop(self, conn: _Connection) -> None:
-        """Drain the connection's outbox in order; None is the sentinel."""
+        """Drain the connection's outbox in order; None is the sentinel.
+
+        Coalescing happens here: every frame already queued is encoded
+        into one buffer and shipped with a single ``write``/``drain`` —
+        the replies of a whole coordination wave (a pipelined replay
+        round's acks, a grant burst) cost one syscall, not one each.
+        """
+        outbox = conn.outbox
+        writer = conn.writer
+        encoder = conn.encoder
         while True:
-            frame = await conn.outbox.get()
+            frame = await outbox.get()
             if frame is None:
                 return
-            await write_message(conn.writer, frame)
+            batch = bytearray(encoder.encode(frame))
+            batched = 1
+            done = False
+            while not outbox.empty():
+                frame = outbox.get_nowait()
+                if frame is None:
+                    done = True
+                    break
+                batch += encoder.encode(frame)
+                batched += 1
+            writer.write(bytes(batch))
+            await writer.drain()
+            self._note_flush(batched)
+            if done:
+                return
+
+    def _note_flush(self, batched: int) -> None:
+        self.perf.bump("wire_flushes")
+        if batched > 1:
+            self.perf.bump("wire_coalesced_frames", batched - 1)
 
     async def _reader_loop(self, conn: _Connection,
                            reader: asyncio.StreamReader) -> None:
@@ -318,7 +360,7 @@ class CoordinationService:
             # Backpressure: a connection whose out-of-order entries fill
             # the buffer is not read again until the sequencer drains it.
             await conn.unblocked.wait()
-            message = await read_message(reader)
+            message = await read_message(reader, conn.decoder)
             if message is None:
                 # EOF without bye: abnormal (peer vanished).
                 return

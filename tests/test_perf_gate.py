@@ -347,6 +347,50 @@ def test_service_gate_skips_on_mismatches():
     assert ok and "not comparable" in msg
 
 
+def codec_subrecord(speedup, nclients=8, napps=32, phases=3):
+    """The binary-vs-JSON codec sub-record of ``BENCH_service.json``."""
+    return {
+        "config": {"napps": napps, "nservers": 8, "phases": phases,
+                   "strategy": "fcfs", "seed": 1, "nclients": nclients,
+                   "json_pipeline": 1, "binary_pipeline": 64},
+        "speedup": speedup,
+        "json_rate": 5000.0,
+        "binary_rate": 5000.0 * speedup,
+        "identical_decision_log": True,
+    }
+
+
+def test_service_codec_subgate_fails_on_collapse():
+    committed = service_record({"8": 0.5})
+    committed["codec"] = codec_subrecord(2.4)
+    fresh = service_record({"8": 0.5})
+    fresh["codec"] = codec_subrecord(2.2)
+    ok, msg = check_perf_regression(fresh, committed, "service")
+    assert ok
+    fresh["codec"] = codec_subrecord(1.0)
+    ok, msg = check_perf_regression(fresh, committed, "service")
+    assert not ok and "service-codec" in msg and "collapse" in msg
+
+
+def test_service_codec_subgate_skips_loudly_when_one_sided():
+    committed = service_record({"8": 0.5})
+    fresh = service_record({"8": 0.5})
+    fresh["codec"] = codec_subrecord(2.4)
+    ok, msg = check_perf_regression(fresh, committed, "service")
+    assert ok and "service-codec" in msg and "lacks the sub-record" in msg
+    ok, msg = check_perf_regression(committed, fresh, "service")
+    assert ok and "service-codec" in msg and "lacks the sub-record" in msg
+
+
+def test_service_codec_subgate_skips_on_differing_workload():
+    committed = service_record({"8": 0.5})
+    committed["codec"] = codec_subrecord(2.4, nclients=8)
+    fresh = service_record({"8": 0.5})
+    fresh["codec"] = codec_subrecord(1.0, nclients=4)
+    ok, msg = check_perf_regression(fresh, committed, "service")
+    assert ok and "service-codec" in msg and "differ" in msg
+
+
 def test_custom_factor_and_unknown_kind():
     fresh, committed = kernel_record(150.0), kernel_record(200.0)
     ok, _ = check_perf_regression(fresh, committed, "kernel", factor=1.2)
